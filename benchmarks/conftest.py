@@ -1,0 +1,42 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark module regenerates one of the paper's tables or figures via
+:mod:`repro.experiments` and asserts its *shape* claims (who wins, by
+roughly what factor, where crossovers fall).  Absolute latencies come from
+the analytical GPU model, so they are deterministic; pytest-benchmark
+measures the wall-clock cost of regenerating each artifact.
+
+Tables are written to ``benchmarks/results/<experiment>.txt`` so a full
+run leaves the regenerated paper artifacts on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def run_experiment(benchmark, results_dir):
+    """Run an experiment module once under pytest-benchmark and persist
+    its regenerated table."""
+
+    def runner(module, quick: bool = True):
+        result = benchmark.pedantic(
+            module.run, kwargs={"quick": quick}, iterations=1, rounds=1
+        )
+        (results_dir / f"{result.experiment}.txt").write_text(
+            result.to_table() + "\n"
+        )
+        return result
+
+    return runner

@@ -1,0 +1,11 @@
+"""Extension: CenterPoint + TorchSparse++ vs the FlatFormer transformer."""
+
+from repro.experiments import ext_flatformer
+
+
+def test_ext_flatformer(run_experiment):
+    result = run_experiment(ext_flatformer)
+    # Paper: 1.5x faster than FlatFormer on Orin; the reproduction's
+    # synthetic scenes land in the same direction and magnitude class.
+    speedup = result.metrics["conv_vs_flatformer_jetson_agx_orin"]
+    assert 1.2 < speedup < 3.5

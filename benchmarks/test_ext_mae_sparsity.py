@@ -1,0 +1,14 @@
+"""Extension: MAE sparsity (the paper's Section 6.3 future application)."""
+
+from repro.experiments import ext_mae_sparsity
+
+
+def test_ext_mae_sparsity(run_experiment):
+    result = run_experiment(ext_mae_sparsity)
+    m = result.metrics
+    # Speedup must grow monotonically with the mask ratio ...
+    assert m["speedup_at_90"] > m["speedup_at_75"] > m["speedup_at_0"]
+    # ... lose clearly on unmasked inputs (sparse overheads) ...
+    assert m["speedup_at_0"] < 0.9
+    # ... and win at MAE-scale masking.
+    assert m["speedup_at_90"] > 1.1

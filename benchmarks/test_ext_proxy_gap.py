@@ -1,0 +1,13 @@
+"""Extension: first-order proxies mislead (the Section 2.3 claim)."""
+
+from repro.experiments import ext_proxy_gap
+
+
+def test_ext_proxy_gap(run_experiment):
+    result = run_experiment(ext_proxy_gap)
+    m = result.metrics
+    # The end-to-end tuner picks configs that a compute or DRAM proxy
+    # would reject (paper: up to 6x compute / 4x DRAM overhead).
+    assert m["max_compute_overhead_of_chosen"] > 1.3
+    assert m["max_dram_overhead_of_chosen"] > 1.3
+    assert m["max_compute_overhead_of_chosen"] < 10.0

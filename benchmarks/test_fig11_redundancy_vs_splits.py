@@ -1,0 +1,16 @@
+"""Figure 11: redundant computation vs number of mask splits."""
+
+from repro.experiments import fig11_redundancy
+
+
+def test_fig11_redundancy_vs_splits(run_experiment):
+    result = run_experiment(fig11_redundancy)
+    # (a) splits keep reducing segmentation redundancy well past s=2.
+    assert result.metrics["seg_drop_1_to_max"] > 1.2
+    # (b) unsorted detection overhead is an acceptable 2.4-2.9x band.
+    assert 1.8 < result.metrics["det_unsorted_overhead"] < 3.5
+    # Segmentation masks are sparser, so their unsorted overhead is larger.
+    assert (
+        result.metrics["seg_unsorted_overhead"]
+        > result.metrics["det_unsorted_overhead"]
+    )

@@ -1,0 +1,19 @@
+"""Figure 15: mixed-precision training speedup (batch size 2)."""
+
+from repro.experiments import fig15_training
+
+
+def test_fig15_training_speedup(run_experiment):
+    result = run_experiment(fig15_training)
+    m = result.metrics
+    # Paper: 4.6-4.8x vs MinkowskiEngine(FP32), 2.5-2.6x vs TorchSparse,
+    # 1.2-1.3x vs SpConv2.3.5.
+    assert (
+        m["train_geomean_vs_minkowskiengine"]
+        > m["train_geomean_vs_torchsparse"]
+        > m["train_geomean_vs_spconv235"]
+        > 1.0
+    )
+    assert m["train_geomean_vs_minkowskiengine"] > 2.0
+    assert m["train_geomean_vs_torchsparse"] > 1.5
+    assert 1.05 < m["train_geomean_vs_spconv235"] < 2.0

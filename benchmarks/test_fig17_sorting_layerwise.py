@@ -1,0 +1,14 @@
+"""Figure 17: layerwise sorted vs unsorted implicit GEMM."""
+
+from repro.experiments import fig17_sorting
+
+
+def test_fig17_sorting_layerwise(run_experiment):
+    result = run_experiment(fig17_sorting)
+    m = result.metrics
+    # Sorting reduces pure compute time...
+    assert m["det_compute_reduction"] > 1.1
+    # ...but its overhead outweighs the gain on detection workloads...
+    assert m["det_sorted_over_unsorted"] > 1.0
+    # ...while it pays off on the larger segmentation model.
+    assert m["seg_sorted_over_unsorted"] < 1.0

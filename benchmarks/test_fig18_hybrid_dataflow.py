@@ -1,0 +1,13 @@
+"""Figure 18: hybrid fetch-on-demand + implicit GEMM dataflow."""
+
+from repro.experiments import fig18_hybrid
+
+
+def test_fig18_hybrid_dataflow(run_experiment):
+    result = run_experiment(fig18_hybrid)
+    m = result.metrics
+    # The hybrid never loses to the best single dataflow (paper: up to
+    # 1.06x faster).
+    assert m["hybrid_gain_rtx_2080_ti"] >= 1.0 - 1e-9
+    # Fetch-on-demand wins the decoder layer groups (reused maps).
+    assert m["decoder_fod_fraction"] >= 0.5

@@ -1,0 +1,16 @@
+"""Figure 19: offline vs online map reordering."""
+
+from repro.experiments import fig19_reorder
+
+
+def test_fig19_offline_reorder(run_experiment):
+    result = run_experiment(fig19_reorder)
+    m = result.metrics
+    # Paper: offline reordering wins by ~4% (inference) / ~12% (training).
+    assert 1.0 < m["inference_online_over_offline"] < 1.15
+    assert 1.05 < m["training_online_over_offline"] < 1.30
+    # Training suffers more (the wgrad K-loop effect).
+    assert (
+        m["training_online_over_offline"]
+        > m["inference_online_over_offline"]
+    )

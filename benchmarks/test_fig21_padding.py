@@ -1,0 +1,11 @@
+"""Figure 21: boundary-check elimination via map padding."""
+
+from repro.experiments import fig21_padding
+
+
+def test_fig21_padding(run_experiment):
+    result = run_experiment(fig21_padding)
+    m = result.metrics
+    # Paper: boundary checks cost 1.14-1.35x; padding removes them.
+    assert 1.05 < m["max_boundary_overhead"] < 1.45
+    assert m["min_boundary_overhead"] > 1.02

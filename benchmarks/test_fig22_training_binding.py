@@ -1,0 +1,13 @@
+"""Figure 22: forward/dgrad/wgrad parameter binding schemes."""
+
+from repro.experiments import fig22_binding
+
+
+def test_fig22_training_binding(run_experiment):
+    result = run_experiment(fig22_binding)
+    m = result.metrics
+    # Decoupling beats binding all three kernels (paper: up to 10%).
+    assert m["rtx_2080_ti_bound_over_best"] > 1.02
+    assert m["a100_bound_over_best"] >= 1.0 - 1e-9
+    # 2080 Ti prefers the workload-pattern scheme, as in the paper.
+    assert m["rtx_2080_ti_picks_paper_scheme"] == 1.0

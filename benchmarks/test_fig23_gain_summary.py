@@ -1,0 +1,14 @@
+"""Figure 23: gain attribution (generator + enlarged design space)."""
+
+from repro.experiments import fig23_summary
+
+
+def test_fig23_gain_summary(run_experiment):
+    result = run_experiment(fig23_summary)
+    m = result.metrics
+    # Both sources contribute positively...
+    assert m["mean_generator_gain"] > 1.0
+    assert m["mean_design_space_gain"] > 1.0
+    # ...and the generator costs a small fraction of SpConv v2's
+    # metaprogrammer (paper: <10%, ~5%).
+    assert m["generator_loc_fraction_of_spconv2"] < 0.10

@@ -1,0 +1,11 @@
+"""Section 6.2: adaptive tiling vs fixed tile sizes."""
+
+from repro.experiments import sec62_adaptive_tiling
+
+
+def test_sec62_adaptive_tiling(run_experiment):
+    result = run_experiment(sec62_adaptive_tiling)
+    # Paper: up to 1.6x over fixed tiling (either always-large or
+    # always-small).
+    assert result.metrics["max_adaptive_gain"] > 1.15
+    assert result.metrics["min_adaptive_gain"] > 1.0

@@ -1,0 +1,16 @@
+"""Section 6.3: sensitivity to bandwidth vs compute scaling."""
+
+from repro.experiments import sec63_microarch
+
+
+def test_sec63_microarch_scaling(run_experiment):
+    result = run_experiment(sec63_microarch)
+    m = result.metrics
+    # Both resources matter materially (paper: 1.2x / 1.4x).  NOTE: in
+    # this reproduction the synthetic workloads are more memory-bound
+    # than the authors' testbed, so the bandwidth sensitivity comes out
+    # LARGER than the compute sensitivity — a documented divergence
+    # (EXPERIMENTS.md); the assertion checks both are significant and
+    # bounded rather than their ordering.
+    assert 1.1 < m["mean_bw_slowdown"] < 2.0
+    assert 1.1 < m["mean_compute_slowdown"] < 2.0

@@ -1,0 +1,11 @@
+"""Table 2: TorchSparse++ on RTX 3090 vs the scaled PointAcc ASIC."""
+
+from repro.experiments import tab02_pointacc
+
+
+def test_tab02_pointacc(run_experiment):
+    result = run_experiment(tab02_pointacc)
+    # Paper: the GPU reaches 56% of the ASIC's speed at a similar compute
+    # budget — i.e. the ASIC wins, but within the same order of magnitude.
+    fraction = result.metrics["gpu_fraction_of_asic"]
+    assert 0.3 < fraction < 1.0

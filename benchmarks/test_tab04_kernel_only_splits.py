@@ -1,0 +1,17 @@
+"""Table 4: kernel-only latency — the opposite of Table 3."""
+
+from repro.experiments import tab03_e2e_splits, tab04_kernel_splits
+
+
+def test_tab04_kernel_only_splits(run_experiment):
+    result = run_experiment(tab04_kernel_splits)
+    # Counting only convolution kernels, the sorted dataflow WINS — the
+    # paper's demonstration that kernel-only time misleads.
+    for key, value in result.metrics.items():
+        assert value < 1.0, f"{key}: sorted kernels should win in isolation"
+
+    # The central observation: the winner flips against Table 3's
+    # end-to-end measurement of the same configurations.
+    e2e = tab03_e2e_splits.run(quick=True)
+    for key in e2e.metrics:
+        assert e2e.metrics[key] > 1.0 > result.metrics[key], key

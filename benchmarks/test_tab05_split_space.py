@@ -1,0 +1,13 @@
+"""Table 5: enlarging the split design space (SemanticKITTI MinkUNet)."""
+
+from repro.experiments import tab05_split_space
+
+
+def test_tab05_split_space(run_experiment):
+    result = run_experiment(tab05_split_space)
+    m = result.metrics
+    # The enlarged space never loses and helps FP32 most (paper: up to
+    # 1.4x, growing from FP16 to FP32).
+    assert m["fp16_gain_full_over_s1"] >= 1.0 - 1e-9
+    assert m["fp32_gain_full_over_s1"] >= m["fp16_gain_full_over_s1"] - 0.02
+    assert m["fp32_gain_full_over_s1"] > 1.03

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""3D detection backbone on multi-frame LiDAR (CenterPoint on Waymo-like data).
+
+Demonstrates the paper's Table 3 observation on a detection workload: the
+*unsorted* implicit GEMM dataflow beats the sorted one end to end, even
+though its kernels do more (redundant) computation — because bitmask
+sorting costs real mapping time.
+
+Run:  python examples/lidar_detection.py
+"""
+
+from repro.experiments.tab03_e2e_splits import CONFIGS, measure_config
+from repro.models import get_workload
+from repro.sparse.bitmask import redundancy_ratio
+from repro.nn import ExecutionContext
+from repro.tune import discover_groups
+
+
+def main() -> None:
+    workload = get_workload("WM-C-1f")
+    model = workload.build_model()
+    print("generating a synthetic Waymo-like scan (64-beam) ...")
+    scan = workload.make_input(seed=7)
+    print(f"input: {scan}")
+
+    print("\nend-to-end latency by dataflow config (RTX 3090, FP16):")
+    for name, config in CONFIGS.items():
+        ms = measure_config(model, scan, "rtx 3090", config)
+        print(f"  {name:10s} {ms:6.2f} ms")
+    print("\nkernel-only latency (no mapping operations):")
+    for name, config in CONFIGS.items():
+        ms = measure_config(model, scan, "rtx 3090", config, kernel_only=True)
+        print(f"  {name:10s} {ms:6.2f} ms")
+
+    # Why: the redundant-computation gap sorting removes ...
+    ctx = ExecutionContext(simulate_only=True)
+    ordered, by_sig = discover_groups(model, scan, ctx)
+    kmap = next(
+        by_sig[sig][0].kmap for sig in ordered
+        if by_sig[sig][0].kmap.volume == 27
+    )
+    unsorted_overhead = redundancy_ratio(kmap.nbmap, 1, sort=False)
+    sorted_overhead = redundancy_ratio(kmap.nbmap, 1, sort=True)
+    print(
+        f"\nredundant-MAC ratio: unsorted {unsorted_overhead:.2f}x vs "
+        f"sorted {sorted_overhead:.2f}x — yet unsorted wins end to end,"
+        "\nbecause sorting's own mapping overhead lands on the critical "
+        "path (paper, Tables 3/4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Relational graph convolution through the sparse-convolution machinery.
+
+Builds a synthetic AIFB-statistics heterogeneous graph, classifies its
+nodes with a 2-layer R-GCN (numerically), and compares the simulated
+latency and memory of DGL / PyG / Graphiler / TorchSparse++ — the paper's
+Figure 16.
+
+Run:  python examples/rgcn_graph.py
+"""
+
+import numpy as np
+
+from repro.graph import (
+    GRAPH_DATASETS,
+    GRAPH_ENGINES,
+    RGCN,
+    make_graph,
+    measure_rgcn,
+)
+
+
+def main() -> None:
+    cfg = GRAPH_DATASETS["aifb"]
+    graph = make_graph("aifb", seed=0)
+    print(f"synthetic AIFB: {graph}")
+
+    # Numerically exact R-GCN inference (relations = kernel offsets).
+    model = RGCN(
+        num_relations=graph.num_relations,
+        in_dim=32,
+        hidden_dim=32,
+        num_classes=cfg.num_classes,
+    )
+    rng = np.random.default_rng(1)
+    features = rng.standard_normal((graph.num_nodes, 32)).astype(np.float32)
+    logits = model.forward(graph, features)
+    predictions = logits.argmax(axis=1)
+    print(
+        f"classified {graph.num_nodes} nodes into {cfg.num_classes} classes"
+        f" (class histogram: {np.bincount(predictions).tolist()})"
+    )
+
+    print("\nsimulated inference on RTX 3090 (FP16):")
+    base = None
+    for engine in ("dgl", "pyg", "graphiler", "torchsparse++"):
+        m = measure_rgcn(engine, graph, "aifb", num_classes=cfg.num_classes)
+        if engine == "torchsparse++":
+            base = m
+        print(
+            f"  {m.engine:14s} {m.latency_ms:7.3f} ms   "
+            f"{m.memory_mb:7.1f} MB"
+        )
+    for engine in ("dgl", "pyg", "graphiler"):
+        m = measure_rgcn(engine, graph, "aifb", num_classes=cfg.num_classes)
+        print(
+            f"  TorchSparse++ vs {m.engine}: "
+            f"{m.latency_ms / base.latency_ms:.1f}x faster, "
+            f"{m.memory_mb / base.memory_mb:.1f}x less memory"
+        )
+
+
+if __name__ == "__main__":
+    main()

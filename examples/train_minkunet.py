@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Mixed-precision training with the training autotuner (Figures 13/15/22).
+
+Trains a small MinkUNet for a few SGD steps on synthetic scans (real
+numerics: loss goes down), then compares simulated training-step latency
+under the three forward/dgrad/wgrad binding schemes on an A100.
+
+Run:  python examples/train_minkunet.py
+"""
+
+import numpy as np
+
+from repro.models import MinkUNet, get_workload
+from repro.nn import ExecutionContext
+from repro.tune import BindingScheme, TrainingTuner
+
+
+def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray):
+    """Loss value and gradient for per-voxel classification."""
+    logits = logits.astype(np.float64)
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    n = len(labels)
+    loss = -np.log(probs[np.arange(n), labels] + 1e-12).mean()
+    grad = probs
+    grad[np.arange(n), labels] -= 1.0
+    return loss, (grad / n).astype(np.float32)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    num_classes = 4
+    model = MinkUNet(in_channels=4, num_classes=num_classes, width=0.25)
+    model.train()
+
+    # A tiny scene so the numeric training loop is quick.
+    coords = np.unique(
+        np.concatenate(
+            [np.zeros((1500, 1), np.int32),
+             rng.integers(0, 24, (1500, 3)).astype(np.int32)],
+            axis=1,
+        ),
+        axis=0,
+    )
+    from repro.sparse import SparseTensor
+
+    scan = SparseTensor(
+        coords, rng.standard_normal((len(coords), 4)).astype(np.float32)
+    )
+    # Height-derived labels: the model has genuine signal to learn.
+    labels = np.clip(coords[:, 3] // 6, 0, num_classes - 1).astype(np.int64)
+
+    print("training 10 steps (FP16 kernels, FP32 master weights):")
+    lr = 0.5
+    first_loss = None
+    for step in range(10):
+        ctx = ExecutionContext(device="a100", precision="fp16", training=True)
+        scan.cache.clear()
+        logits = model(scan, ctx)
+        loss, grad = softmax_cross_entropy(
+            logits.feats.astype(np.float32), labels
+        )
+        first_loss = first_loss or loss
+        model.backward(grad.astype(np.float16), ctx)
+        for param in model.parameters():
+            if param.grad is not None:
+                param.data -= lr * param.grad
+        model.zero_grad()
+        print(f"  step {step}: loss {loss:.4f} "
+              f"(simulated step latency {ctx.latency_ms():.2f} ms)")
+    print(f"loss improved {first_loss:.3f} -> {loss:.3f} ✓")
+
+    print("\ntraining-tuner binding schemes on A100 "
+          "(conv kernels of NS-M-1f):")
+    workload = get_workload("NS-M-1f")
+    big_model = workload.build_model()
+    big_model.train()
+    samples = [workload.make_input(seed=0)]
+    for scheme in (BindingScheme.BIND_ALL, BindingScheme.BIND_FWD_DGRAD,
+                   BindingScheme.BIND_DGRAD_WGRAD):
+        _, report = TrainingTuner(scheme=scheme).tune(
+            big_model, samples, "a100", "fp16"
+        )
+        print(f"  {scheme.value:18s} {report.end_to_end_us / 1e3:7.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+Metadata lives in pyproject.toml; this file only enables the legacy
+editable-install path (`setup.py develop`) used when PEP 517 builds are
+unavailable (e.g. offline machines without `wheel`).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""TorchSparse++ reproduction: sparse convolution dataflows, kernel
+generation, and autotuning with an analytical GPU performance model.
+
+Public API highlights:
+
+* :class:`repro.sparse.SparseTensor` and :func:`repro.sparse.sparse_quantize`
+  — build sparse tensors from point clouds;
+* :mod:`repro.nn` — sparse convolution layers and the module system;
+* :mod:`repro.models` — MinkUNet and CenterPoint sparse encoders;
+* :mod:`repro.tune` — the Sparse Autotuner;
+* :mod:`repro.codegen` — the Sparse Kernel Generator;
+* :mod:`repro.baselines` — engines modelling MinkowskiEngine, SpConv 1.2,
+  TorchSparse, SpConv v2, and TorchSparse++ itself;
+* :mod:`repro.gpusim` — the analytical GPU performance model.
+"""
+
+from repro.precision import Precision
+from repro.sparse import SparseTensor, sparse_quantize
+
+__version__ = "1.0.0"
+
+__all__ = ["Precision", "SparseTensor", "sparse_quantize", "__version__"]

@@ -1,0 +1,20 @@
+"""Future applications (Section 6.3 of the paper).
+
+The paper closes by arguing TorchSparse++ extends beyond point clouds and
+graphs — to selective computation on images and to masked autoencoder
+(MAE) pre-training, whose masked inputs are inherently sparse.  This
+package implements that extension: 2-D sparse convolution workloads built
+on the identical substrate (coordinates, kernel maps, dataflows, tuner).
+"""
+
+from repro.apps.mae import (
+    MaskedImageEncoder,
+    masked_image_tensor,
+    mae_speedup_vs_dense,
+)
+
+__all__ = [
+    "MaskedImageEncoder",
+    "masked_image_tensor",
+    "mae_speedup_vs_dense",
+]

@@ -1,0 +1,40 @@
+"""Baseline sparse convolution engines (Section 5.1).
+
+Each engine re-creates a published system by its dataflow and documented
+restrictions on the shared substrate:
+
+* :class:`MinkowskiEngine` — per-offset fetch-on-demand kernels on CUDA
+  cores, no FP16/TF32 support, expensive coordinate manager;
+* :class:`SpConv1` — vanilla gather-GEMM-scatter with cuBLAS GEMMs;
+* :class:`TorchSparseEngine` — fused gather/scatter with adaptive grouping
+  (MLSys'22);
+* :class:`SpConv2` — bitmask-sorted implicit GEMM with one split, tiles
+  tuned within its restricted space, lower-quality generated kernels;
+* :class:`TorchSparsePP` — this paper: generated kernels + Sparse
+  Autotuner over the full design space, adaptive tiling.
+"""
+
+from repro.baselines.engines import (
+    ENGINES,
+    BaselineEngine,
+    MinkowskiEngine,
+    SpConv1,
+    SpConv2,
+    TorchSparseEngine,
+    TorchSparsePP,
+    get_engine,
+)
+from repro.baselines.harness import measure_inference, measure_training
+
+__all__ = [
+    "ENGINES",
+    "BaselineEngine",
+    "MinkowskiEngine",
+    "SpConv1",
+    "SpConv2",
+    "TorchSparseEngine",
+    "TorchSparsePP",
+    "get_engine",
+    "measure_inference",
+    "measure_training",
+]

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``devices`` — list the modelled GPUs and their key specs;
+* ``workloads`` — list the seven benchmark workloads;
+* ``engines`` — list the five sparse convolution engines;
+* ``measure`` — run a workload through an engine and report latency
+  (optionally a per-layer breakdown);
+* ``tune`` — run the Sparse Autotuner for a workload/device and save the
+  policy to JSON;
+* ``experiments`` — alias of ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.utils.format import format_table
+
+
+def _cmd_devices(_args) -> int:
+    from repro.hw import list_devices
+
+    rows = [
+        [
+            d.name,
+            d.arch,
+            d.sms,
+            f"{d.cuda_core_tflops:g}",
+            f"{d.fp16_tensor_tflops:g}" if d.fp16_tensor_tflops else "-",
+            f"{d.dram_bw_gbps:g}",
+        ]
+        for d in list_devices()
+    ]
+    print(
+        format_table(
+            ["device", "arch", "SMs", "FP32 TFLOPS", "FP16 TC TFLOPS",
+             "DRAM GB/s"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_workloads(_args) -> int:
+    from repro.models import WORKLOADS
+
+    rows = [
+        [w.id, w.model_family, w.dataset, w.frames, w.task]
+        for w in WORKLOADS.values()
+    ]
+    print(format_table(["id", "model", "dataset", "frames", "task"], rows))
+    return 0
+
+
+def _cmd_engines(_args) -> int:
+    from repro.baselines import ENGINES, get_engine
+
+    rows = []
+    for key in ENGINES:
+        engine = get_engine(key)
+        doc = (type(engine).__doc__ or "").strip().splitlines()[0]
+        rows.append([engine.name, doc])
+    print(format_table(["engine", "description"], rows))
+    return 0
+
+
+def _cmd_measure(args) -> int:
+    from repro.baselines import get_engine, measure_inference
+    from repro.models import get_workload
+
+    workload = get_workload(args.workload)
+    engine = get_engine(args.engine)
+    m = measure_inference(
+        engine, workload, args.device, args.precision,
+        seeds=tuple(range(args.scenes)),
+    )
+    print(
+        f"{engine.name} on {workload.id} @ {args.device}/{args.precision}: "
+        f"{m.mean_ms:.2f} ms mean over {args.scenes} scene(s)"
+    )
+    parts = ", ".join(
+        f"{k} {v / 1e3:.2f} ms" for k, v in sorted(m.breakdown_us.items())
+    )
+    print(f"breakdown: {parts}")
+    if args.layers:
+        from repro.gpusim.report import layer_report
+
+        model = workload.build_model()
+        model.eval()
+        sample = workload.make_input(seed=0)
+        ctx = engine.make_context(args.device, args.precision)
+        ctx.simulate_only = True
+        model(sample, ctx)
+        print()
+        print(layer_report(ctx.trace, args.device, ctx.precision))
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.models import get_workload
+    from repro.tune import SparseAutotuner, save_policy
+
+    workload = get_workload(args.workload)
+    model = workload.build_model()
+    samples = [workload.make_input(seed=s) for s in range(args.scenes)]
+    policy, report = SparseAutotuner().tune(
+        model, samples, args.device, args.precision
+    )
+    print(report.describe())
+    if args.output:
+        save_policy(policy, args.output)
+        print(f"policy saved to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="TorchSparse++ reproduction command-line interface.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list modelled GPUs").set_defaults(
+        func=_cmd_devices
+    )
+    sub.add_parser("workloads", help="list benchmark workloads").set_defaults(
+        func=_cmd_workloads
+    )
+    sub.add_parser("engines", help="list engines").set_defaults(
+        func=_cmd_engines
+    )
+
+    measure = sub.add_parser("measure", help="measure one engine/workload")
+    measure.add_argument("workload", help="e.g. SK-M-0.5")
+    measure.add_argument("--engine", default="torchsparse++")
+    measure.add_argument("--device", default="a100")
+    measure.add_argument("--precision", default="fp16")
+    measure.add_argument("--scenes", type=int, default=1)
+    measure.add_argument(
+        "--layers", action="store_true", help="show a per-layer breakdown"
+    )
+    measure.set_defaults(func=_cmd_measure)
+
+    tune = sub.add_parser("tune", help="run the Sparse Autotuner")
+    tune.add_argument("workload")
+    tune.add_argument("--device", default="a100")
+    tune.add_argument("--precision", default="fp16")
+    tune.add_argument("--scenes", type=int, default=2)
+    tune.add_argument("--output", help="save the policy JSON here")
+    tune.set_defaults(func=_cmd_tune)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""The Sparse Kernel Generator (Section 3 of the paper).
+
+A metaprogrammer that builds sparse convolution kernels from a dense-GEMM
+loop-nest template plus a short sparse-iterator template (Figure 7):
+
+* :mod:`repro.codegen.ir` — a small loop-nest IR with per-node scalar
+  instruction costs;
+* :mod:`repro.codegen.templates` — the implicit GEMM / fetch-on-demand /
+  wgrad kernel templates (the "red + blue + gray" decomposition);
+* :mod:`repro.codegen.passes` — the paper's optimizations: loop-invariant
+  hoisting (Figure 20), boundary-check elimination via map padding
+  (Figure 21), compile-time constant folding (the fixed-shape idealization
+  of Figure 8), and double buffering;
+* :mod:`repro.codegen.generator` — drives template + passes into a
+  :class:`GeneratedKernel` carrying a :class:`repro.kernels.KernelSchedule`
+  (consumed by the dataflow kernels) and emitted pseudo-CUDA source;
+* :mod:`repro.codegen.tiling` — the tile-size design space and adaptive
+  tiling (Section 6.2);
+* :mod:`repro.codegen.cost` — achieved-utilization analysis against the
+  equivalent-size dense GEMM (Figure 8).
+"""
+
+from repro.codegen.ir import ForLoop, IntOp, Load, MemScope, MMA, Predicate, Store
+from repro.codegen.generator import GeneratedKernel, SparseKernelGenerator
+from repro.codegen.tiling import (
+    TILE_CANDIDATES,
+    adaptive_schedule,
+    enumerate_schedules,
+    tune_tile_size,
+)
+from repro.codegen.cost import achieved_utilization, utilization_vs_cublas
+
+__all__ = [
+    "ForLoop",
+    "IntOp",
+    "Load",
+    "MemScope",
+    "MMA",
+    "Predicate",
+    "Store",
+    "GeneratedKernel",
+    "SparseKernelGenerator",
+    "TILE_CANDIDATES",
+    "adaptive_schedule",
+    "enumerate_schedules",
+    "tune_tile_size",
+    "achieved_utilization",
+    "utilization_vs_cublas",
+]

@@ -1,0 +1,134 @@
+"""Compiler passes over the kernel-template IR (Section 3.2).
+
+Each pass is a pure tree transformation returning a new loop nest; the
+generator composes them and derives the final :class:`KernelSchedule`
+overheads from the transformed IR.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List
+
+from repro.codegen.ir import ForLoop, IntOp, Load, MMA, Node, Predicate, Store
+from repro.codegen.templates import INNER_VAR
+from repro.errors import CodegenError
+
+
+def hoist_loop_invariants(root: ForLoop) -> ForLoop:
+    """Move innermost-loop IntOps that do not depend on the innermost
+    induction variable up to the enclosing loop (Figure 20).
+
+    Predicates are *not* hoisted: the boundary check guards a map access
+    whose address changes every K iteration, so "loop invariant hoisting
+    does not apply in this case" (Section 3.2) — only padding removes it.
+    """
+    root = copy.deepcopy(root)
+    inner = root.innermost()
+    if inner is root:
+        return root
+    parent = _parent_of(root, inner)
+    kept: List[Node] = []
+    hoisted: List[Node] = []
+    for node in inner.body:
+        if isinstance(node, IntOp) and INNER_VAR not in node.depends:
+            hoisted.append(node)
+        else:
+            kept.append(node)
+    inner.body = kept
+    at = parent.body.index(inner)
+    parent.body[at:at] = hoisted
+    return root
+
+
+def eliminate_boundary_checks(root: ForLoop) -> ForLoop:
+    """Remove map-access boundary predicates, keeping their bodies.
+
+    Legal only when the map's first dimension is padded to a multiple of
+    ``cta_M`` (Figure 21) so every access is in bounds by construction; the
+    caller asserts that precondition via ``KernelSchedule.pad_maps``.
+    """
+    root = copy.deepcopy(root)
+
+    def strip(body: List[Node]) -> List[Node]:
+        out: List[Node] = []
+        for node in body:
+            if isinstance(node, Predicate):
+                out.extend(strip(node.body))
+            elif isinstance(node, ForLoop):
+                node.body = strip(node.body)
+                out.append(node)
+            else:
+                out.append(node)
+        return out
+
+    root.body = strip(root.body)
+    return root
+
+
+def constant_fold(root: ForLoop) -> ForLoop:
+    """Fold dynamic-shape divide/modulo into multiply-shift sequences.
+
+    Models compile-time constant folding for a *fixed-shape* kernel: the
+    expensive division against an RF-resident ``C_in`` becomes a cheap
+    reciprocal multiply.  Only valid when the workload shape is known at
+    compile time — impossible to deploy for point clouds (Section 3.2),
+    hence its role as the idealized reference of Figure 8.
+    """
+    root = copy.deepcopy(root)
+    for node in root.walk():
+        if isinstance(node, IntOp) and ("/" in node.expr or "%" in node.expr):
+            node.cost = min(node.cost, 1.0)
+            node.expr += "  // folded: C_in is a compile-time constant"
+    return root
+
+
+def double_buffer(root: ForLoop) -> ForLoop:
+    """Mark the K-tile loop as software pipelined (loads overlap MMA)."""
+    root = copy.deepcopy(root)
+    k_loop = root.find_loop("k_inner")
+    if k_loop is None:
+        raise CodegenError("template has no k_inner loop to pipeline")
+    k_loop.pipelined = True
+    return root
+
+
+def innermost_address_ops(root: ForLoop) -> float:
+    """Scalar addressing cost per innermost iteration (IntOps only)."""
+    inner = root.innermost()
+    return sum(n.cost for n in inner.body if isinstance(n, IntOp))
+
+
+def innermost_boundary_ops(root: ForLoop) -> float:
+    """Boundary-check cost per innermost iteration (Predicates only)."""
+    inner = root.innermost()
+    return sum(n.cost for n in inner.body if isinstance(n, Predicate))
+
+
+def count_nodes(root: ForLoop) -> dict:
+    """Node census (used in tests and the engineering-cost report)."""
+    census = {"loops": 0, "intops": 0, "loads": 0, "stores": 0,
+              "mmas": 0, "predicates": 0}
+    for node in root.walk():
+        if isinstance(node, ForLoop):
+            census["loops"] += 1
+        elif isinstance(node, IntOp):
+            census["intops"] += 1
+        elif isinstance(node, Load):
+            census["loads"] += 1
+        elif isinstance(node, Store):
+            census["stores"] += 1
+        elif isinstance(node, MMA):
+            census["mmas"] += 1
+        elif isinstance(node, Predicate):
+            census["predicates"] += 1
+    return census
+
+
+def _parent_of(root: ForLoop, target: ForLoop) -> ForLoop:
+    for node in root.walk():
+        if isinstance(node, ForLoop) and target in node.body:
+            return node
+        if isinstance(node, Predicate) and target in node.body:
+            raise CodegenError("cannot hoist across a predicate boundary")
+    raise CodegenError("target loop not found in nest")

@@ -1,0 +1,156 @@
+"""Kernel templates: the fixed metaprogramming skeletons of Figure 7.
+
+Each template builds an *unoptimized* loop-nest IR in which every addressing
+operation sits in the innermost ``ldA`` loop, exactly like a naive
+dynamic-shape conversion of a dense GEMM kernel (the 1.5-1.7x-slow starting
+point of Figure 20).  The passes in :mod:`repro.codegen.passes` then hoist,
+fold and strip it into the shipped kernel.
+
+Node costs are issue-slot estimates on the integer pipe: adds/shifts 1,
+dynamic divide/modulo 4 (multi-instruction on GPUs), boundary predicate 4
+(compare + setp + branch + reconvergence).
+"""
+
+from __future__ import annotations
+
+from repro.codegen.ir import ForLoop, IntOp, Load, MemScope, MMA, Predicate, Store
+from repro.kernels.base import KernelSchedule
+
+#: Induction variable of the innermost per-thread load loop.
+INNER_VAR = "ldA"
+
+
+def _a_operand_loads(dynamic_shape: bool) -> list:
+    """The red code of Figure 7: sparse A-operand loading via the map.
+
+    ``dynamic_shape`` keeps ``C_in`` as a runtime register operand, making
+    the divide/modulo genuinely expensive; a fixed-shape build replaces them
+    with folded multiply-shift sequences (see ``passes.constant_fold``).
+    """
+    div_cost = 4.0 if dynamic_shape else 1.0
+    return [
+        IntOp("k = k_base + ldA * LD_K", cost=1.0, depends=("k_inner",)),
+        IntOp("off = k / C_in", cost=div_cost, depends=("k_inner",)),
+        IntOp("cin = k % C_in", cost=div_cost, depends=("k_inner",)),
+        IntOp("map_addr = m_idx * V + off", cost=1.0, depends=("k_inner", "m")),
+        Predicate(
+            cond="m_idx < M",  # removed when the map is padded to cta_M
+            body=[Load("row", "nbmap[map_addr]", MemScope.DRAM, indirect=True)],
+            cost=4.0,
+            depends=("m",),
+        ),
+        IntOp("addrA_base = row * C_in + cin", cost=0.5, depends=("k_inner",)),
+        IntOp("addrA = addrA_base + ldA", cost=1.0, depends=(INNER_VAR,)),
+        IntOp("lane = lane_id ^ swizzle(ldA)", cost=0.5, depends=(INNER_VAR,)),
+        Load("smem_A[lane]", "row >= 0 ? X_in[addrA] : 0", MemScope.SMEM,
+             indirect=True),
+    ]
+
+
+def implicit_gemm_template(
+    schedule: KernelSchedule, dynamic_shape: bool = True
+) -> ForLoop:
+    """Implicit GEMM kernel loop nest (Section 3.1, Table 1 row 4)."""
+    inner = ForLoop(
+        var=INNER_VAR,
+        extent="LD_A_THR",
+        body=_a_operand_loads(dynamic_shape),
+        unrolled=True,
+    )
+    k_inner = ForLoop(
+        var="k_inner",
+        extent=f"C_in / {schedule.tile_k}",
+        body=[
+            inner,
+            # Gray code: dense B (weights) loading, reused from dense GEMM.
+            Load("smem_B", "W[k, n_idx]", MemScope.SMEM),
+            # Blue code: compiler-generated on-chip MMA subroutine.
+            MMA(shape="m16n8k16"),
+        ],
+    )
+    k_outer = ForLoop(
+        var="k_outer",
+        extent="V",
+        body=[
+            IntOp("k_base = k_outer * C_in", cost=1.0, depends=("k_outer",)),
+            k_inner,
+        ],
+    )
+    return ForLoop(
+        var="cta",
+        extent=f"ceil(M/{schedule.tile_m}) * ceil(N/{schedule.tile_n})",
+        body=[
+            k_outer,
+            Store("X_out[m_idx, n_idx]", "accum", MemScope.DRAM),
+        ],
+    )
+
+
+def fetch_on_demand_template(
+    schedule: KernelSchedule, dynamic_shape: bool = True
+) -> ForLoop:
+    """Block-fused fetch-on-demand loop nest (Table 1 row 3).
+
+    Structurally the implicit GEMM template with the offset loop promoted
+    to a block dimension and atomic scattered write-back.
+    """
+    inner = ForLoop(
+        var=INNER_VAR,
+        extent="LD_A_THR",
+        body=_a_operand_loads(dynamic_shape),
+        unrolled=True,
+    )
+    k_inner = ForLoop(
+        var="k_inner",
+        extent=f"C_in / {schedule.tile_k}",
+        body=[
+            inner,
+            Load("smem_B", "W[delta][k, n_idx]", MemScope.SMEM),
+            MMA(shape="m16n8k16"),
+        ],
+    )
+    return ForLoop(
+        var="cta",
+        extent="sum(ceil(|M_delta|/tile_m)) * ceil(N/tile_n)",
+        body=[
+            IntOp("delta = block_to_offset[cta]", cost=1.0, depends=("cta",)),
+            k_inner,
+            Store(
+                "X_out[out_idx[pair], n_idx]",
+                "accum",
+                MemScope.DRAM,
+                atomic=True,
+            ),
+        ],
+    )
+
+
+def wgrad_template(
+    schedule: KernelSchedule, dynamic_shape: bool = True
+) -> ForLoop:
+    """Weight-gradient loop nest: the K loop iterates over output points,
+    so *both* operands are loaded indirectly in the innermost loop
+    (Section 6.2: why online reordering hurts wgrad most)."""
+    body = _a_operand_loads(dynamic_shape)
+    body.append(
+        Load("smem_B[lane]", "row >= 0 ? dY[addrB] : 0", MemScope.SMEM,
+             indirect=True)
+    )
+    inner = ForLoop(var=INNER_VAR, extent="LD_A_THR", body=body, unrolled=True)
+    k_loop = ForLoop(
+        var="k_inner",
+        extent=f"N_out / {schedule.tile_k}",
+        body=[inner, MMA(shape="m16n8k16")],
+    )
+    return ForLoop(
+        var="cta",
+        extent=f"V * ceil(C_in/{schedule.tile_m}) * ceil(C_out/{schedule.tile_n})",
+        body=[k_loop, Store("dW[delta][ci, co]", "accum", MemScope.DRAM)],
+    )
+
+
+TEMPLATES = {
+    "implicit_gemm": implicit_gemm_template,
+    "fetch_on_demand": fetch_on_demand_template,
+    "wgrad": wgrad_template,
+}

@@ -1,0 +1,128 @@
+"""Tile-size design space and adaptive tiling (Sections 3.2 and 6.2).
+
+The generator's only tunable dimensions are the CTA tile sizes; the paper's
+Figure 8 experiment shows this reduced space already reaches (or exceeds)
+cuBLAS utilization for equivalent-size GEMMs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.hw.specs import DeviceSpec
+from repro.kernels.base import (
+    LARGE_TILE,
+    SMALL_TILE,
+    KernelSchedule,
+    dense_gemm_trace,
+)
+from repro.gpusim.engine import estimate_trace_us
+from repro.precision import Precision
+
+#: Legal (tile_m, tile_n, tile_k) triples — shapes CUTLASS-style kernels
+#: support with 128-thread CTAs and half-precision smem budgets.
+TILE_CANDIDATES: Tuple[Tuple[int, int, int], ...] = (
+    (256, 128, 32),
+    (128, 256, 32),
+    (128, 128, 32),
+    (128, 64, 32),
+    (64, 128, 32),
+    (64, 64, 32),
+    (64, 32, 32),
+    (32, 64, 32),
+    (64, 64, 16),
+    (64, 32, 16),
+    (32, 32, 16),
+    (16, 32, 16),
+)
+
+#: Workload MACs above which adaptive tiling picks the large tile
+#: (~threshold where the large tile's occupancy loss is amortized).
+ADAPTIVE_MAC_THRESHOLD = 5.0e8
+
+
+def enumerate_schedules(
+    base: Optional[KernelSchedule] = None,
+) -> List[KernelSchedule]:
+    """All tile-size variants of ``base`` (other options unchanged)."""
+    base = base or KernelSchedule()
+    out = []
+    for tile_m, tile_n, tile_k in TILE_CANDIDATES:
+        out.append(
+            dataclasses.replace(
+                base,
+                tile_m=tile_m,
+                tile_n=tile_n,
+                tile_k=tile_k,
+                warp_rows=min(base.warp_rows, tile_m),
+            )
+        )
+    return out
+
+
+def adaptive_schedule(
+    macs: float,
+    base: Optional[KernelSchedule] = None,
+    shape: Optional[Tuple[int, int, int]] = None,
+    device: Optional[DeviceSpec] = None,
+) -> KernelSchedule:
+    """Pick the large or small tile configuration per workload (Section 6.2).
+
+    With a ``shape=(m, n, k)`` the choice maximises modelled MMA efficiency
+    times occupancy for that GEMM; without one it falls back to the MAC
+    threshold.  Large tiles maximise data reuse on compute-heavy layers;
+    small tiles keep thin layers occupancy-bound instead of tile-quantized.
+    """
+    if shape is not None:
+        from repro.gpusim.engine import wave_efficiency
+        from repro.kernels.base import gemm_ctas, gemm_efficiency
+
+        m, n, k = shape
+        concurrent = device.concurrent_ctas if device else 164
+
+        def score(schedule: KernelSchedule) -> float:
+            ctas = gemm_ctas(max(m, 1), max(n, 1), schedule)
+            return gemm_efficiency(m, n, k, schedule) * wave_efficiency(
+                ctas, concurrent
+            )
+
+        chosen = max((LARGE_TILE, SMALL_TILE), key=score)
+    else:
+        chosen = LARGE_TILE if macs >= ADAPTIVE_MAC_THRESHOLD else SMALL_TILE
+    if base is None:
+        return chosen
+    return dataclasses.replace(
+        base,
+        tile_m=chosen.tile_m,
+        tile_n=chosen.tile_n,
+        tile_k=chosen.tile_k,
+        warp_rows=min(base.warp_rows, chosen.tile_m),
+    )
+
+
+def tune_tile_size(
+    m: int,
+    k: int,
+    n: int,
+    device: DeviceSpec,
+    precision: Precision,
+    base: Optional[KernelSchedule] = None,
+) -> KernelSchedule:
+    """Exhaustively pick the fastest tile size for an ``m x k x n`` GEMM.
+
+    This is the generator-side tuner used by the Figure 8 experiment; the
+    full Sparse Autotuner (:mod:`repro.tune`) wraps it with dataflow and
+    split choices and end-to-end measurement.
+    """
+    best = None
+    best_time = float("inf")
+    for schedule in enumerate_schedules(base):
+        time = estimate_trace_us(
+            dense_gemm_trace(m, k, n, schedule, precision), device, precision
+        )
+        if time < best_time:
+            best_time = time
+            best = schedule
+    assert best is not None
+    return best

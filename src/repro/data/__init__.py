@@ -1,0 +1,28 @@
+"""Synthetic LiDAR data substrate.
+
+The paper's datasets (SemanticKITTI, nuScenes, Waymo) are not available in
+this environment; :mod:`repro.data.lidar` ray-casts a 64- or 32-beam
+spinning LiDAR over procedurally generated driving scenes, and
+:mod:`repro.data.datasets` packages the scans into dataset configurations
+matching the real benchmarks' point counts, spatial extents, voxel sizes and
+multi-frame superposition (Section 5.1).  Sparse convolution performance
+depends on exactly those geometric statistics, not on semantic content.
+"""
+
+from repro.data.lidar import LidarConfig, Scene, lidar_scan
+from repro.data.datasets import (
+    DATASETS,
+    DatasetConfig,
+    make_sample,
+    make_batch,
+)
+
+__all__ = [
+    "LidarConfig",
+    "Scene",
+    "lidar_scan",
+    "DATASETS",
+    "DatasetConfig",
+    "make_sample",
+    "make_batch",
+]

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the TorchSparse++ reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ShapeError(ReproError):
+    """An array or tensor had an unexpected shape."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration was supplied (dataflow, tiling, tuner ...)."""
+
+
+class DeviceError(ReproError):
+    """An unknown device was requested or a device spec is inconsistent."""
+
+
+class MapError(ReproError):
+    """Kernel-map construction failed or maps are inconsistent."""
+
+
+class CodegenError(ReproError):
+    """The Sparse Kernel Generator was asked to build an invalid program."""
+
+
+class GraphError(ReproError):
+    """A heterogeneous graph is malformed."""

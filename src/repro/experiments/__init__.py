@@ -1,0 +1,36 @@
+"""Experiment reproductions: one module per table/figure of the paper.
+
+Every module exposes ``run(quick=True) -> ExperimentResult``; ``quick``
+trims the grid (fewer devices/precisions/workloads/scenes) for CI-speed
+runs while the full grid reproduces the complete table or figure.  Use
+``python -m repro.experiments <name> [--full]`` from the command line, or
+the pytest-benchmark wrappers under ``benchmarks/``.
+"""
+
+from repro.experiments.common import ExperimentResult, workload_fixture
+
+EXPERIMENTS = (
+    "fig08_utilization",
+    "fig11_redundancy",
+    "fig14_inference",
+    "fig15_training",
+    "fig16_graph",
+    "fig17_sorting",
+    "fig18_hybrid",
+    "fig19_reorder",
+    "fig20_hoisting",
+    "fig21_padding",
+    "fig22_binding",
+    "fig23_summary",
+    "tab02_pointacc",
+    "tab03_e2e_splits",
+    "tab04_kernel_splits",
+    "tab05_split_space",
+    "sec62_adaptive_tiling",
+    "sec63_microarch",
+    "ext_mae_sparsity",
+    "ext_proxy_gap",
+    "ext_flatformer",
+)
+
+__all__ = ["ExperimentResult", "workload_fixture", "EXPERIMENTS"]

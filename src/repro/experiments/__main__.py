@@ -1,0 +1,69 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig14            # quick grid
+    python -m repro.experiments fig14 --full     # the paper's full grid
+    python -m repro.experiments all              # every experiment, quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+
+
+def _resolve(name: str) -> str:
+    matches = [e for e in EXPERIMENTS if e == name or e.startswith(name)]
+    if len(matches) != 1:
+        known = ", ".join(EXPERIMENTS)
+        raise SystemExit(
+            f"unknown or ambiguous experiment {name!r}; known: {known}"
+        )
+    return matches[0]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name (e.g. fig14), a unique prefix, 'all', "
+        "or 'list'",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the full grid instead of the quick subset",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:24s} {doc}")
+        return 0
+
+    names = EXPERIMENTS if args.experiment == "all" else (
+        _resolve(args.experiment),
+    )
+    for name in names:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        start = time.perf_counter()
+        result = module.run(quick=not args.full)
+        elapsed = time.perf_counter() - start
+        print(result.to_table())
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

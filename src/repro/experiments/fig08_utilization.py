@@ -1,0 +1,58 @@
+"""Figure 8: generated sparse kernels vs cuBLAS utilization.
+
+For MinkUNet layers on SemanticKITTI, tuning *only tile sizes* lets the
+generated implicit GEMM kernel reach (on average exceed) the utilization of
+the equivalent-size dense GEMM — the justification for the generator's
+reduced design space (Section 3.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen.cost import utilization_vs_cublas
+from repro.experiments.common import ExperimentResult, fmt, sample_layers
+from repro.hw import RTX_3090
+from repro.precision import Precision
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    layers = sample_layers("SK-M-1.0", count=4 if quick else 7)
+    rows = []
+    ratios = []
+    for record in layers:
+        c_in, c_out = record.c_in, record.c_out
+        kmap = record.kmap
+        rng = np.random.default_rng(0)
+        feats = np.zeros((kmap.num_inputs, c_in), dtype=np.float32)
+        weights = rng.standard_normal((kmap.volume, c_in, c_out)).astype(
+            np.float32
+        )
+        ratio = utilization_vs_cublas(
+            feats, weights, kmap, RTX_3090, Precision.FP16
+        )
+        ratios.append(ratio)
+        rows.append(
+            [
+                record.label,
+                kmap.num_outputs,
+                kmap.volume * c_in,
+                c_out,
+                fmt(100 * ratio, 1) + "%",
+            ]
+        )
+    mean_ratio = float(np.mean(ratios))
+    rows.append(["average", "", "", "", fmt(100 * mean_ratio, 1) + "%"])
+    return ExperimentResult(
+        experiment="fig08",
+        title="Generated kernel utilization relative to cuBLAS "
+        "(MinkUNet/SemanticKITTI layers, RTX 3090, FP16, tile-only tuning)",
+        headers=["layer", "M", "K", "N", "util vs cuBLAS"],
+        rows=rows,
+        metrics={
+            "mean_utilization_vs_cublas": mean_ratio,
+            "min_utilization_vs_cublas": float(min(ratios)),
+        },
+        notes="Paper: >100% of cuBLAS utilization on average by tuning "
+        "only tile sizes.",
+    )

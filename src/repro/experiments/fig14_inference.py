@@ -1,0 +1,99 @@
+"""Figure 14: end-to-end inference speedup over the baselines.
+
+Seven workloads x five engines across GPU generations and precisions; the
+paper's headline claim is 2.9-3.7x / 3.2-3.3x / 2.0-2.2x / 1.4-1.7x geomean
+speedup over MinkowskiEngine / SpConv 1.2 / TorchSparse / SpConv v2 on
+cloud Ampere GPUs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baselines import get_engine, measure_inference
+from repro.experiments.common import ExperimentResult, fmt, workload_fixture
+from repro.utils.format import geomean
+
+ENGINE_ORDER = (
+    "minkowskiengine",
+    "spconv1",
+    "torchsparse",
+    "spconv2",
+    "torchsparse++",
+)
+
+#: The device/precision combinations evaluated in the figure.
+FULL_GRID: Tuple[Tuple[str, str], ...] = (
+    ("gtx 1080 ti", "fp32"),
+    ("rtx 2080 ti", "fp16"),
+    ("rtx 3090", "fp16"),
+    ("rtx 3090", "tf32"),
+    ("rtx 3090", "fp32"),
+    ("a100", "fp16"),
+    ("a100", "tf32"),
+    ("a100", "fp32"),
+    ("jetson agx orin", "fp16"),
+)
+
+QUICK_GRID: Tuple[Tuple[str, str], ...] = (
+    ("a100", "fp16"),
+    ("rtx 3090", "fp16"),
+    ("jetson agx orin", "fp16"),
+)
+
+FULL_WORKLOADS = (
+    "SK-M-0.5", "SK-M-1.0", "NS-M-1f", "NS-M-3f",
+    "NS-C-10f", "WM-C-1f", "WM-C-3f",
+)
+QUICK_WORKLOADS = ("SK-M-0.5", "NS-M-1f", "WM-C-1f")
+
+
+def run(
+    quick: bool = True,
+    grid: Sequence[Tuple[str, str]] = (),
+    workloads: Sequence[str] = (),
+) -> ExperimentResult:
+    grid = tuple(grid) or (QUICK_GRID if quick else FULL_GRID)
+    workloads = tuple(workloads) or (
+        QUICK_WORKLOADS if quick else FULL_WORKLOADS
+    )
+    rows: List[List[object]] = []
+    speedups: Dict[Tuple[str, str, str], List[float]] = {}
+    for device, precision in grid:
+        for workload_id in workloads:
+            workload, model, inputs = workload_fixture(workload_id, (0,))
+            model.eval()
+            latencies = {}
+            for engine_name in ENGINE_ORDER:
+                engine = get_engine(engine_name)
+                m = measure_inference(
+                    engine, workload, device, precision,
+                    model=model, inputs=list(inputs),
+                )
+                latencies[engine.name] = m.mean_ms
+            base = latencies["TorchSparse++"]
+            row = [device, precision, workload_id, fmt(base)]
+            for engine_name in ENGINE_ORDER[:-1]:
+                name = get_engine(engine_name).name
+                ratio = latencies[name] / base
+                row.append(fmt(ratio) + "x")
+                speedups.setdefault((device, precision, name), []).append(ratio)
+            rows.append(row)
+
+    metrics: Dict[str, float] = {}
+    per_engine: Dict[str, List[float]] = {}
+    for (device, precision, name), values in speedups.items():
+        per_engine.setdefault(name, []).extend(values)
+    for name, values in per_engine.items():
+        key = name.lower().replace(" ", "").replace(".", "")
+        metrics[f"geomean_speedup_vs_{key}"] = geomean(values)
+    return ExperimentResult(
+        experiment="fig14",
+        title="End-to-end inference latency and TorchSparse++ speedup",
+        headers=["device", "precision", "workload", "TS++ ms",
+                 "vs ME", "vs SpConv1.2", "vs TorchSparse", "vs SpConv2"],
+        rows=rows,
+        metrics=metrics,
+        notes="Paper (cloud Ampere): 2.9-3.7x vs ME, 3.2-3.3x vs SpConv1.2,"
+        " 2.0-2.2x vs TorchSparse, 1.4-1.7x vs SpConv2.",
+    )

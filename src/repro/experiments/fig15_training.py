@@ -1,0 +1,64 @@
+"""Figure 15: mixed-precision training speedup (batch size 2).
+
+TorchSparse++ vs MinkowskiEngine (FP32-only), TorchSparse and SpConv v2 on
+A100 and RTX 2080 Ti; paper: 4.6-4.8x / 2.5-2.6x / 1.2-1.3x faster.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines import get_engine, measure_training
+from repro.experiments.common import ExperimentResult, fmt, workload_fixture
+from repro.utils.format import geomean
+
+ENGINE_ORDER = ("minkowskiengine", "torchsparse", "spconv2", "torchsparse++")
+
+FULL_WORKLOADS = (
+    "SK-M-0.5", "SK-M-1.0", "NS-M-1f", "NS-M-3f",
+    "NS-C-10f", "WM-C-1f", "WM-C-3f",
+)
+QUICK_WORKLOADS = ("SK-M-0.5", "WM-C-1f")
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    devices = ("a100",) if quick else ("a100", "rtx 2080 ti")
+    workloads = QUICK_WORKLOADS if quick else FULL_WORKLOADS
+    rows: List[List[object]] = []
+    speedups: Dict[str, List[float]] = {}
+    for device in devices:
+        for workload_id in workloads:
+            workload, model, _ = workload_fixture(workload_id, (0,))
+            model.train()
+            latencies = {}
+            for engine_name in ENGINE_ORDER:
+                engine = get_engine(engine_name)
+                m = measure_training(
+                    engine, workload, device, "fp16",
+                    seeds=(0,), batch_size=2, model=model,
+                )
+                latencies[engine.name] = m.mean_ms
+            model.eval()
+            base = latencies["TorchSparse++"]
+            row = [device, workload_id, fmt(base)]
+            for engine_name in ENGINE_ORDER[:-1]:
+                name = get_engine(engine_name).name
+                ratio = latencies[name] / base
+                row.append(fmt(ratio) + "x")
+                speedups.setdefault(name, []).append(ratio)
+            rows.append(row)
+    metrics = {
+        f"train_geomean_vs_{name.lower().replace(' ', '').replace('.', '')}":
+            geomean(values)
+        for name, values in speedups.items()
+    }
+    return ExperimentResult(
+        experiment="fig15",
+        title="Mixed-precision training step latency (fwd+bwd, batch 2)",
+        headers=["device", "workload", "TS++ ms", "vs ME(FP32)",
+                 "vs TorchSparse", "vs SpConv2"],
+        rows=rows,
+        metrics=metrics,
+        notes="Paper: 4.6-4.8x vs MinkowskiEngine, 2.5-2.6x vs TorchSparse,"
+        " 1.2-1.3x vs SpConv2.3.5.",
+    )

@@ -1,0 +1,68 @@
+"""Figure 20: loop-invariant hoisting closes the dynamic-shape gap.
+
+A naively converted dynamic-shape kernel is 1.5-1.7x slower than the
+fixed-shape original because of repetitive pointer calculation; hoisting
+the loop invariants eliminates the overhead, ending slightly *faster* than
+fixed-shape in most sample workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.common import ExperimentResult, fmt, sample_layers
+from repro.gpusim.engine import estimate_trace_us
+from repro.hw import RTX_3090
+from repro.kernels.base import KernelSchedule
+from repro.kernels.implicit_gemm import ImplicitGemmConfig
+from repro.kernels.registry import trace_dataflow
+from repro.precision import Precision
+
+FIXED = KernelSchedule(fixed_shape=True)
+NAIVE = KernelSchedule(hoist_invariants=False)
+HOISTED = KernelSchedule(hoist_invariants=True)
+
+
+def _kernel_us(record, schedule: KernelSchedule) -> float:
+    trace = trace_dataflow(
+        "implicit_gemm", record.kmap, record.c_in, record.c_out,
+        schedule=schedule, precision=Precision.FP16,
+        ig_config=ImplicitGemmConfig(sort=False), charge_mapping=False,
+    )
+    return estimate_trace_us(
+        trace.filter_name("main"), RTX_3090, Precision.FP16
+    )
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    layers = sample_layers("SK-M-1.0", count=4 if quick else 7)
+    rows: List[List[object]] = []
+    naive_ratios = []
+    hoisted_ratios = []
+    for record in layers:
+        fixed = _kernel_us(record, FIXED)
+        naive = _kernel_us(record, NAIVE)
+        hoisted = _kernel_us(record, HOISTED)
+        naive_ratios.append(naive / fixed)
+        hoisted_ratios.append(hoisted / fixed)
+        rows.append(
+            [record.label, fmt(fixed, 1), fmt(naive, 1), fmt(hoisted, 1),
+             fmt(naive / fixed), fmt(hoisted / fixed)]
+        )
+    faster_count = sum(1 for r in hoisted_ratios if r <= 1.0)
+    return ExperimentResult(
+        experiment="fig20",
+        title="Fixed-shape vs naive dynamic vs hoisted kernels "
+        "(MinkUNet layers, RTX 3090 FP16, us)",
+        headers=["layer", "fixed", "naive dynamic", "hoisted",
+                 "naive/fixed", "hoisted/fixed"],
+        rows=rows,
+        metrics={
+            "max_naive_overhead": max(naive_ratios),
+            "min_naive_overhead": min(naive_ratios),
+            "max_hoisted_overhead": max(hoisted_ratios),
+            "hoisted_faster_than_fixed_fraction": faster_count / len(layers),
+        },
+        notes="Paper: naive conversion is up to 1.7x slower; hoisting "
+        "closes the gap and beats fixed-shape in 5 of 7 workloads.",
+    )

@@ -1,0 +1,96 @@
+"""Figure 23: where TorchSparse++'s gains come from.
+
+Stacked attribution on top of SpConv v2: (1) the Sparse Kernel Generator
+produces 1.1-1.2x faster kernels at identical dataflow parameters; (2) the
+enlarged design space (unsorted implicit GEMM, more splits,
+fetch-on-demand) tuned by the Sparse Autotuner provides the rest.  The
+generator's engineering cost is ~5% of SpConv v2's metaprogrammer.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.baselines import get_engine, measure_inference
+from repro.codegen import SparseKernelGenerator
+from repro.experiments.common import ExperimentResult, fmt, workload_fixture
+from repro.kernels.base import KernelSchedule
+from repro.kernels.implicit_gemm import ImplicitGemmConfig
+from repro.nn.context import FixedPolicy, LayerConfig
+
+
+class _SpConv2WithOurKernels(get_engine("spconv2").__class__):
+    """SpConv v2's dataflow (sorted, split=1) with our generated kernels."""
+
+    name = "SpConv2-dataflow + TS++ kernels"
+
+    def _policy(self, device, precision):
+        return FixedPolicy(
+            LayerConfig(
+                ig_config=ImplicitGemmConfig(num_splits=1, sort=True),
+                schedule=KernelSchedule(),  # codegen_quality = 1.0
+            )
+        )
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    workloads = ("SK-M-0.5", "WM-C-1f") if quick else (
+        "SK-M-0.5", "SK-M-1.0", "NS-M-1f", "WM-C-1f",
+    )
+    rows: List[List[object]] = []
+    metrics = {}
+    gen_gains = []
+    space_gains = []
+    for workload_id in workloads:
+        workload, model, inputs = workload_fixture(workload_id, (0,))
+        model.eval()
+        stages = {
+            "SpConv2.3.5": get_engine("spconv2"),
+            "+generator": _SpConv2WithOurKernels(),
+            "+design space (TS++)": get_engine("torchsparse++"),
+        }
+        latencies = {}
+        for label, engine in stages.items():
+            m = measure_inference(
+                engine, workload, "a100", "fp16",
+                model=model, inputs=list(inputs),
+            )
+            latencies[label] = m.mean_ms
+        gen_gain = latencies["SpConv2.3.5"] / latencies["+generator"]
+        space_gain = latencies["+generator"] / latencies["+design space (TS++)"]
+        gen_gains.append(gen_gain)
+        space_gains.append(space_gain)
+        rows.append(
+            [workload_id, fmt(latencies["SpConv2.3.5"]),
+             fmt(latencies["+generator"]),
+             fmt(latencies["+design space (TS++)"]),
+             fmt(gen_gain), fmt(space_gain)]
+        )
+    report = SparseKernelGenerator().engineering_cost_report()
+    loc_fraction = (
+        report["torchsparsepp_generator_lines"]
+        / report["spconv2_metaprogrammer_lines"]
+    )
+    metrics.update(
+        {
+            "mean_generator_gain": sum(gen_gains) / len(gen_gains),
+            "mean_design_space_gain": sum(space_gains) / len(space_gains),
+            "generator_loc_fraction_of_spconv2": loc_fraction,
+        }
+    )
+    rows.append(
+        ["generator LoC", report["torchsparsepp_generator_lines"],
+         "SpConv2 LoC", report["spconv2_metaprogrammer_lines"],
+         f"{100 * loc_fraction:.1f}%", ""]
+    )
+    return ExperimentResult(
+        experiment="fig23",
+        title="Gain attribution: generator vs enlarged design space "
+        "(A100 FP16, ms)",
+        headers=["workload", "SpConv2", "+generator", "+design space",
+                 "generator gain", "space gain"],
+        rows=rows,
+        metrics=metrics,
+        notes="Paper: generated kernels are 1.1-1.2x faster at equal "
+        "dataflow params; the generator is ~5% of SpConv v2's LoC.",
+    )

@@ -1,0 +1,60 @@
+"""Section 6.2 (Effectiveness of adaptive tiling).
+
+Choosing between a large and a small tile configuration by workload MACs
+provides up to 1.6x speedup over either fixed tiling.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.common import ExperimentResult, fmt, workload_fixture
+from repro.kernels.base import LARGE_TILE, SMALL_TILE
+from repro.nn.context import ExecutionContext, FixedPolicy, LayerConfig
+
+
+def _measure(model, sample, device, schedule=None, adaptive=False) -> float:
+    policy = FixedPolicy(
+        LayerConfig(schedule=schedule) if schedule else LayerConfig()
+    )
+    ctx = ExecutionContext(
+        device=device, precision="fp16", policy=policy,
+        simulate_only=True, adaptive_tiling=adaptive,
+    )
+    model.eval()
+    model(sample, ctx)
+    return ctx.latency_ms()
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    workloads = ("SK-M-0.5", "NS-M-1f") if quick else (
+        "SK-M-0.5", "SK-M-1.0", "NS-M-1f", "WM-C-1f",
+    )
+    rows: List[List[object]] = []
+    gains = []
+    for workload_id in workloads:
+        _, model, inputs = workload_fixture(workload_id, (0,))
+        sample = inputs[0]
+        large = _measure(model, sample, "rtx 3090", schedule=LARGE_TILE)
+        small = _measure(model, sample, "rtx 3090", schedule=SMALL_TILE)
+        adaptive = _measure(model, sample, "rtx 3090", adaptive=True)
+        best_fixed = min(large, small)
+        worst_fixed = max(large, small)
+        gains.append(worst_fixed / adaptive)
+        rows.append(
+            [workload_id, fmt(large), fmt(small), fmt(adaptive),
+             fmt(worst_fixed / adaptive)]
+        )
+    return ExperimentResult(
+        experiment="sec62",
+        title="Adaptive tiling vs fixed tile sizes (RTX 3090 FP16, ms)",
+        headers=["workload", "large tiles", "small tiles", "adaptive",
+                 "gain vs worst fixed"],
+        rows=rows,
+        metrics={
+            "max_adaptive_gain": max(gains),
+            "min_adaptive_gain": min(gains),
+        },
+        notes="Paper: adaptive tiling provides up to 1.6x over fixed "
+        "tiling.",
+    )

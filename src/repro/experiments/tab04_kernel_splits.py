@@ -1,0 +1,15 @@
+"""Table 4: *kernel-only* latency of unsorted vs sorted implicit GEMM.
+
+The exact opposite of Table 3: counting only the convolution kernels (no
+mapping operations), the sorted dataflow is faster — revealing that
+kernel-only time is a misleading proxy for end-to-end performance.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.tab03_e2e_splits import run as _run_tab03
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    return _run_tab03(quick=quick, kernel_only=True)

@@ -1,0 +1,98 @@
+"""Trace-to-latency conversion for a device spec."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.gpusim.trace import KernelLaunch, KernelTrace, LaunchKind
+from repro.hw.specs import DeviceSpec
+from repro.precision import Precision
+
+
+def wave_efficiency(ctas: int, concurrent_ctas: int) -> float:
+    """Utilization fraction from wave quantization.
+
+    A GPU executes thread blocks in waves of ``concurrent_ctas``; a kernel
+    with fewer blocks than one wave leaves SMs idle, and the last partial
+    wave of a large kernel does the same.  This is the mechanism that makes
+    extra mask splits (more, smaller, parallel GEMMs) profitable on
+    low-parallelism workloads (Table 5) and devices (Figure 18 on Orin).
+    """
+    if ctas < 1 or concurrent_ctas < 1:
+        raise ValueError("ctas and concurrent_ctas must be >= 1")
+    waves = math.ceil(ctas / concurrent_ctas)
+    return ctas / (waves * concurrent_ctas)
+
+
+def _compute_time_us(
+    launch: KernelLaunch, device: DeviceSpec, precision: Precision
+) -> float:
+    """Time on the launch's compute pipe, including scalar-op overhead."""
+    eff = wave_efficiency(launch.ctas, device.concurrent_ctas)
+    if launch.kind is LaunchKind.GEMM:
+        tflops = device.gemm_tflops(precision, launch.tensor_core_eligible)
+    else:
+        # Mapping, memory and reduction (elementwise adds) launches run on
+        # the CUDA cores regardless of precision.
+        tflops = device.cuda_core_tflops
+    t_flops = launch.flops / (tflops * 1e6 * eff * launch.compute_efficiency)
+    # Scalar ops (addressing, boundary checks, hash probes) run on the CUDA
+    # cores' integer pipe regardless of the launch kind.
+    t_scalar = launch.scalar_ops / (device.int_giops * 1e3 * eff)
+    return t_flops + t_scalar
+
+
+def _memory_time_us(launch: KernelLaunch, device: DeviceSpec) -> float:
+    """DRAM time: plain traffic plus serialized atomic traffic.
+
+    Achievable bandwidth also degrades for small launches: DRAM saturates
+    only with roughly one resident thread block per SM, so a 1-CTA kernel
+    on a 108-SM device sees ~1/108 of peak — small kernels are latency
+    bound, which matters for mapping operations on thin layers.
+    """
+    plain = launch.dram_read_bytes + launch.dram_write_bytes
+    atomic = launch.atomic_write_bytes * device.atomic_serialization
+    bw_eff = min(1.0, launch.ctas / device.sms)
+    return (plain + atomic) / (device.dram_bw_gbps * 1e3 * bw_eff)
+
+
+def estimate_launch_us(
+    launch: KernelLaunch, device: DeviceSpec, precision: Precision
+) -> float:
+    """Latency of a single kernel launch in microseconds."""
+    t_compute = _compute_time_us(launch, device, precision)
+    t_memory = _memory_time_us(launch, device)
+    if launch.overlapped:
+        body = max(t_compute, t_memory)
+    else:
+        body = t_compute + t_memory
+    return device.kernel_launch_us + body
+
+
+def estimate_trace_us(
+    trace: KernelTrace, device: DeviceSpec, precision: "Precision | str"
+) -> float:
+    """Total latency of a trace in microseconds (launches are serialized).
+
+    Sparse convolution layers are data-dependent, so real libraries execute
+    them on one stream; serializing launches matches that.
+    """
+    precision = Precision.parse(precision)
+    return sum(estimate_launch_us(l, device, precision) for l in trace)
+
+
+def latency_breakdown(
+    trace: KernelTrace, device: DeviceSpec, precision: "Precision | str"
+) -> Dict[str, float]:
+    """Latency split by launch kind, in microseconds.
+
+    The ``"mapping"`` vs ``"gemm"`` split is the quantity behind the paper's
+    Tables 3/4 contrast (kernel-only time vs end-to-end time).
+    """
+    precision = Precision.parse(precision)
+    out: Dict[str, float] = {}
+    for launch in trace:
+        key = launch.kind.value
+        out[key] = out.get(key, 0.0) + estimate_launch_us(launch, device, precision)
+    return out

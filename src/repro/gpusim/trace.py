@@ -1,0 +1,136 @@
+"""Kernel execution traces: what a dataflow did, independent of any device."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+class LaunchKind(enum.Enum):
+    """What hardware pipe a launch predominantly exercises."""
+
+    GEMM = "gemm"  # matrix multiply: tensor-core eligible
+    MAPPING = "mapping"  # hash build/query, bitmask, sort, reorder: CUDA cores
+    MEMORY = "memory"  # gather/scatter/transpose: bandwidth bound
+    REDUCTION = "reduction"  # partial-sum reduction for mask splits
+
+
+@dataclasses.dataclass
+class KernelLaunch:
+    """One GPU kernel launch with its resource demands.
+
+    Attributes:
+        name: Diagnostic label (e.g. ``"implicit_gemm/main"``).
+        kind: Which pipe the launch exercises (:class:`LaunchKind`).
+        flops: Floating-point operations *issued*, including redundant
+            warp-lockstep work (2 x MACs).
+        dram_read_bytes / dram_write_bytes: Off-chip traffic.
+        atomic_write_bytes: Portion of the writes performed with atomics
+            (subject to serialization on conflicts).
+        scalar_ops: Integer/address/control operations executed on CUDA
+            cores alongside the main pipe — un-hoisted pointer arithmetic
+            and boundary checks land here (Section 3.2).
+        ctas: Thread blocks launched (drives occupancy).
+        overlapped: Whether compute and memory are pipelined (Figure 3).
+        tensor_core_eligible: GEMM launches may still be barred from tensor
+            cores (e.g. MinkowskiEngine FP32 paths).
+        compute_efficiency: Fraction of peak MMA throughput the inner loop
+            can sustain (tile quantization, pipeline fill), in ``(0, 1]``.
+    """
+
+    name: str
+    kind: LaunchKind
+    flops: float = 0.0
+    dram_read_bytes: float = 0.0
+    dram_write_bytes: float = 0.0
+    atomic_write_bytes: float = 0.0
+    scalar_ops: float = 0.0
+    ctas: int = 1
+    overlapped: bool = False
+    tensor_core_eligible: bool = True
+    compute_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.compute_efficiency <= 1.0:
+            raise ValueError(
+                f"compute_efficiency must be in (0, 1], got {self.compute_efficiency}"
+            )
+        if self.ctas < 1:
+            raise ValueError(f"ctas must be >= 1, got {self.ctas}")
+        for field in ("flops", "dram_read_bytes", "dram_write_bytes",
+                      "atomic_write_bytes", "scalar_ops"):
+            if getattr(self, field) < 0:
+                raise ValueError(f"{field} must be non-negative")
+
+
+@dataclasses.dataclass
+class TraceSummary:
+    """Aggregate resource counts over a trace (device independent)."""
+
+    launches: int = 0
+    flops: float = 0.0
+    dram_read_bytes: float = 0.0
+    dram_write_bytes: float = 0.0
+    scalar_ops: float = 0.0
+
+    @property
+    def dram_bytes(self) -> float:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+
+class KernelTrace:
+    """An ordered sequence of kernel launches for one operation or network."""
+
+    def __init__(self, launches: Optional[Iterable[KernelLaunch]] = None):
+        self._launches: List[KernelLaunch] = list(launches or [])
+
+    def add(self, launch: KernelLaunch) -> KernelLaunch:
+        self._launches.append(launch)
+        return launch
+
+    def extend(self, other: "KernelTrace") -> "KernelTrace":
+        self._launches.extend(other._launches)
+        return self
+
+    def __iter__(self) -> Iterator[KernelLaunch]:
+        return iter(self._launches)
+
+    def __len__(self) -> int:
+        return len(self._launches)
+
+    @property
+    def launches(self) -> List[KernelLaunch]:
+        return list(self._launches)
+
+    def filter(self, kind: LaunchKind) -> "KernelTrace":
+        """Sub-trace of launches of one kind (e.g. kernel-only, Table 4)."""
+        return KernelTrace(l for l in self._launches if l.kind is kind)
+
+    def filter_name(self, substring: str) -> "KernelTrace":
+        return KernelTrace(l for l in self._launches if substring in l.name)
+
+    def summary(self) -> TraceSummary:
+        agg = TraceSummary()
+        for launch in self._launches:
+            agg.launches += 1
+            agg.flops += launch.flops
+            agg.dram_read_bytes += launch.dram_read_bytes
+            agg.dram_write_bytes += launch.dram_write_bytes
+            agg.scalar_ops += launch.scalar_ops
+        return agg
+
+    def by_kind(self) -> Dict[LaunchKind, TraceSummary]:
+        out: Dict[LaunchKind, TraceSummary] = {}
+        for kind in LaunchKind:
+            sub = self.filter(kind)
+            if len(sub):
+                out[kind] = sub.summary()
+        return out
+
+    def __repr__(self) -> str:
+        s = self.summary()
+        return (
+            f"KernelTrace(launches={s.launches}, flops={s.flops:.3g}, "
+            f"dram={s.dram_bytes:.3g}B)"
+        )

@@ -1,0 +1,34 @@
+"""Heterogeneous graph workloads (Figure 16).
+
+Relational graph convolution (R-GCN) shares sparse convolution's
+computation pattern — relations play the role of kernel offsets, edge lists
+play the role of kernel maps (Section 1).  This package provides:
+
+* :mod:`repro.graph.hetero` — heterogeneous graphs and synthetic generators
+  matching the five benchmark datasets' node/edge/relation statistics;
+* :mod:`repro.graph.rgcn` — an R-GCN layer executing through the same
+  dataflow/trace machinery as the point-cloud kernels;
+* :mod:`repro.graph.engines` — execution models for DGL, PyG, Graphiler and
+  TorchSparse++ with latency and memory accounting.
+"""
+
+from repro.graph.hetero import GRAPH_DATASETS, HeteroGraph, make_graph
+from repro.graph.rgcn import RGCN, RGCNLayer
+from repro.graph.engines import (
+    GRAPH_ENGINES,
+    GraphMeasurement,
+    get_graph_engine,
+    measure_rgcn,
+)
+
+__all__ = [
+    "GRAPH_DATASETS",
+    "HeteroGraph",
+    "make_graph",
+    "RGCN",
+    "RGCNLayer",
+    "GRAPH_ENGINES",
+    "GraphMeasurement",
+    "get_graph_engine",
+    "measure_rgcn",
+]

@@ -1,0 +1,29 @@
+"""Hardware models: GPU device specifications and the PointAcc ASIC model."""
+
+from repro.hw.specs import (
+    DeviceSpec,
+    get_device,
+    list_devices,
+    register_device,
+    A100,
+    RTX_3090,
+    RTX_2080TI,
+    GTX_1080TI,
+    JETSON_ORIN,
+)
+from repro.hw.pointacc import PointAccSpec, POINTACC, POINTACC_L
+
+__all__ = [
+    "DeviceSpec",
+    "get_device",
+    "list_devices",
+    "register_device",
+    "A100",
+    "RTX_3090",
+    "RTX_2080TI",
+    "GTX_1080TI",
+    "JETSON_ORIN",
+    "PointAccSpec",
+    "POINTACC",
+    "POINTACC_L",
+]

@@ -1,0 +1,207 @@
+"""Weight-stationary gather-GEMM-scatter dataflows (Section 2.2.1).
+
+Two variants are provided:
+
+* ``fused=False`` — the vanilla dataflow of SparseConvNet / SpConv v1: a
+  host loop over kernel offsets, each iteration launching a gather kernel, a
+  dense (cuBLAS) GEMM and a scatter kernel.  Three launches per offset, a
+  DRAM round trip for both staging buffers, and no compute/memory overlap
+  between stages (Figure 3a).
+* ``fused=True`` — TorchSparse (MLSys'22): all gathers are fused into one
+  locality-aware kernel, GEMMs for offsets with similar ``|M_delta|`` are
+  batched together (padding the smaller ones — *adaptive grouping*), and all
+  scatters are fused into one kernel.
+
+Trace construction (``gather_gemm_scatter_trace``) is independent of feature
+values, so the performance model and the autotuner can cost full-scale
+workloads without executing the matrix arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.gpusim.trace import KernelLaunch, KernelTrace, LaunchKind
+from repro.kernels.base import (
+    DEFAULT_SCHEDULE,
+    KernelSchedule,
+    check_conv_args,
+    gemm_ctas,
+    gemm_efficiency,
+    matmul_accumulate,
+)
+from repro.precision import Precision
+from repro.sparse.kmap import KernelMap
+
+#: Offsets whose map sizes are within this ratio share one batched GEMM
+#: group in the adaptive-grouping variant (TorchSparse's tolerance).
+GROUP_SIZE_TOLERANCE = 1.5
+
+
+def adaptive_groups(map_sizes: Sequence[int]) -> List[List[int]]:
+    """Group offset indices by similar map size (TorchSparse Section 3).
+
+    Offsets are sorted by ``|M_delta|`` descending and greedily grouped while
+    the largest member stays within :data:`GROUP_SIZE_TOLERANCE` of the
+    smallest; batched GEMMs pad every member to the group maximum.
+    """
+    nonempty = [k for k, size in enumerate(map_sizes) if size > 0]
+    nonempty.sort(key=lambda k: -map_sizes[k])
+    groups: List[List[int]] = []
+    for k in nonempty:
+        if (
+            groups
+            and map_sizes[groups[-1][0]] <= GROUP_SIZE_TOLERANCE * map_sizes[k]
+        ):
+            groups[-1].append(k)
+        else:
+            groups.append([k])
+    return groups
+
+
+def _gemm_launch(
+    name: str,
+    m: int,
+    k: int,
+    n: int,
+    batch: int,
+    schedule: KernelSchedule,
+    precision: Precision,
+    tensor_cores: bool,
+) -> KernelLaunch:
+    """A dense (possibly batched) GEMM over DRAM staging buffers."""
+    itemsize = precision.itemsize
+    m_pad = math.ceil(m / schedule.tile_m) * schedule.tile_m if m else 0
+    return KernelLaunch(
+        name=name,
+        kind=LaunchKind.GEMM,
+        flops=2.0 * batch * m_pad * k * n,
+        dram_read_bytes=itemsize * batch * (m * k + k * n),
+        dram_write_bytes=itemsize * batch * m * n,
+        ctas=batch * gemm_ctas(max(m, 1), n, schedule),
+        overlapped=schedule.double_buffer,
+        tensor_core_eligible=tensor_cores,
+        compute_efficiency=gemm_efficiency(m, n, k, schedule),
+    )
+
+
+def gather_gemm_scatter_trace(
+    kmap: KernelMap,
+    c_in: int,
+    c_out: int,
+    schedule: KernelSchedule = DEFAULT_SCHEDULE,
+    precision: Precision = Precision.FP32,
+    fused: bool = False,
+    tensor_cores: bool = True,
+) -> KernelTrace:
+    """Execution trace of the gather-GEMM-scatter dataflow (no numerics)."""
+    itemsize = precision.itemsize
+    trace = KernelTrace()
+    map_sizes = kmap.map_sizes
+    total_pairs = kmap.total_pairs
+
+    if not fused:
+        for k, size in enumerate(map_sizes):
+            if size == 0:
+                continue
+            size = int(size)
+            trace.add(
+                KernelLaunch(
+                    name=f"gather/offset{k}",
+                    kind=LaunchKind.MEMORY,
+                    dram_read_bytes=itemsize * size * c_in + 8.0 * size,
+                    dram_write_bytes=itemsize * size * c_in,
+                    scalar_ops=2.0 * size,
+                    ctas=max(1, size * c_in // 4096),
+                )
+            )
+            trace.add(
+                _gemm_launch(
+                    f"gemm/offset{k}", size, c_in, c_out, 1,
+                    schedule, precision, tensor_cores,
+                )
+            )
+            trace.add(
+                KernelLaunch(
+                    name=f"scatter/offset{k}",
+                    kind=LaunchKind.MEMORY,
+                    dram_read_bytes=itemsize * size * c_out + 8.0 * size
+                    # scatter-accumulate reads the destination rows too
+                    + 4.0 * size * c_out,
+                    dram_write_bytes=4.0 * size * c_out,
+                    scalar_ops=2.0 * size,
+                    ctas=max(1, size * c_out // 4096),
+                )
+            )
+    else:
+        trace.add(
+            KernelLaunch(
+                name="gather/fused",
+                kind=LaunchKind.MEMORY,
+                dram_read_bytes=itemsize * total_pairs * c_in + 8.0 * total_pairs,
+                dram_write_bytes=itemsize * total_pairs * c_in,
+                scalar_ops=2.0 * total_pairs,
+                ctas=max(1, total_pairs * c_in // 4096),
+            )
+        )
+        for g, group in enumerate(adaptive_groups(map_sizes)):
+            padded_m = int(max(map_sizes[k] for k in group))
+            trace.add(
+                _gemm_launch(
+                    f"gemm/group{g}", padded_m, c_in, c_out, len(group),
+                    schedule, precision, tensor_cores,
+                )
+            )
+        trace.add(
+            KernelLaunch(
+                name="scatter/fused",
+                kind=LaunchKind.MEMORY,
+                dram_read_bytes=itemsize * total_pairs * c_out
+                + 8.0 * total_pairs + 4.0 * total_pairs * c_out,
+                dram_write_bytes=4.0 * total_pairs * c_out,
+                scalar_ops=2.0 * total_pairs,
+                ctas=max(1, total_pairs * c_out // 4096),
+            )
+        )
+
+    # Final output materialization (accumulator -> storage dtype).
+    trace.add(
+        KernelLaunch(
+            name="writeback",
+            kind=LaunchKind.MEMORY,
+            dram_read_bytes=4.0 * kmap.num_outputs * c_out,
+            dram_write_bytes=itemsize * kmap.num_outputs * c_out,
+            ctas=max(1, kmap.num_outputs * c_out // 4096),
+        )
+    )
+    return trace
+
+
+def gather_gemm_scatter(
+    feats: np.ndarray,
+    weights: np.ndarray,
+    kmap: KernelMap,
+    schedule: KernelSchedule = DEFAULT_SCHEDULE,
+    precision: Precision = Precision.FP32,
+    fused: bool = False,
+    tensor_cores: bool = True,
+) -> Tuple[np.ndarray, KernelTrace]:
+    """Run sparse convolution with the gather-GEMM-scatter dataflow.
+
+    Returns ``(out_feats, trace)`` with ``out_feats`` of shape
+    ``(N_out, C_out)`` in the precision's storage dtype.
+    """
+    c_in, c_out = check_conv_args(feats, weights, kmap.volume)
+    accum = np.zeros((kmap.num_outputs, c_out), dtype=np.float32)
+    for k, (in_idx, out_idx) in enumerate(kmap.pairs()):
+        if len(in_idx) == 0:
+            continue
+        partial = matmul_accumulate(feats[in_idx], weights[k], precision)
+        np.add.at(accum, out_idx, partial)
+    trace = gather_gemm_scatter_trace(
+        kmap, c_in, c_out, schedule, precision, fused, tensor_cores
+    )
+    return accum.astype(precision.dtype), trace

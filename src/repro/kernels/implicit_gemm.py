@@ -1,0 +1,273 @@
+"""Output-stationary implicit GEMM dataflow (Sections 2.2.3 and 4.1).
+
+The sparse convolution is executed as one GEMM
+``X_out[M, N] = X_im2col[M, K] @ W[K, N]`` with ``M = N_out``,
+``N = C_out`` and ``K = V * C_in``, where the A operand is never
+materialised: loads from ``X_in`` go through the output-stationary map with
+one level of indirection (Figure 7).  Write-back traffic is the theoretical
+minimum, but warp-lockstep execution issues redundant MACs wherever a warp's
+rows disagree about neighbour presence (Figure 5).
+
+Configuration axes (the TorchSparse++ design-space extension, Figure 9/10):
+
+* ``sort`` — reorder rows by descending neighbour bitmask (SpConv v2 style,
+  Figure 6); ``sort=False`` is the *unsorted* dataflow SpConv v2 excluded
+  and the paper rehabilitates (Table 3);
+* ``num_splits`` — split the K loop over offsets into ``s`` independently
+  sorted segments computing into separate partial-sum buffers, reduced by a
+  final summation kernel (Figure 10, SplitK analogue);
+* ``offline_reorder`` — materialise the reordered map ahead of time instead
+  of chasing the permutation inside the kernel (Section 4.1 / Figure 19).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.gpusim.trace import KernelLaunch, KernelTrace, LaunchKind
+from repro.kernels.base import (
+    DEFAULT_SCHEDULE,
+    ONLINE_REORDER_OPS,
+    KernelSchedule,
+    check_conv_args,
+    gemm_ctas,
+    gemm_efficiency,
+    matmul_accumulate,
+)
+from repro.precision import Precision
+from repro.sparse.bitmask import MaskReordering, warp_mac_slots
+from repro.sparse.kmap import KernelMap
+
+#: Scalar ops per radix-sort pass per key (compare/scatter on CUDA cores).
+SORT_OPS_PER_PASS = 16.0
+#: Bits retired per radix-sort pass.
+RADIX_BITS = 8
+#: Random-scatter DRAM amplification: 4-16 byte scattered accesses move
+#: full 32-byte sectors, so sorting/reordering runs far below peak
+#: bandwidth — the reason sorting overhead is end-to-end significant
+#: (Tables 3/4, Figure 17).
+SECTOR_FACTOR = 8.0
+#: Loss of gathered-row contiguity when the permutation is chased inside
+#: the kernel instead of materialised offline (Figure 19).
+ONLINE_REORDER_READ_AMPLIFICATION = 2.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ImplicitGemmConfig:
+    """Dataflow parameters for implicit GEMM.
+
+    ``num_splits=1, sort=False`` is the unsorted dataflow ("split 0" in the
+    paper's Table 5 notation); ``num_splits=1, sort=True`` matches SpConv v2.
+    """
+
+    num_splits: int = 1
+    sort: bool = True
+    offline_reorder: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_splits < 1:
+            raise ConfigError(f"num_splits must be >= 1, got {self.num_splits}")
+        if not self.sort and self.num_splits > 1:
+            raise ConfigError("mask splitting requires sorting (Figure 10)")
+
+    @classmethod
+    def from_paper_notation(cls, split: int) -> "ImplicitGemmConfig":
+        """Table 5 notation: 0 = unsorted, s >= 1 = sorted with s splits."""
+        if split == 0:
+            return cls(num_splits=1, sort=False)
+        return cls(num_splits=split, sort=True)
+
+
+def _mapping_trace(
+    kmap: KernelMap, config: ImplicitGemmConfig, num_rows: int
+) -> KernelTrace:
+    """Launches for bitmask computation, sorting and (offline) reordering."""
+    trace = KernelTrace()
+    if not config.sort or kmap.volume <= 1:
+        # Nothing to sort for pointwise (V = 1) convolutions.
+        return trace
+    volume = kmap.volume
+    seg_bits = math.ceil(volume / config.num_splits)
+    passes = max(1, math.ceil(seg_bits / RADIX_BITS))
+    trace.add(
+        KernelLaunch(
+            name="mapping/bitmask",
+            kind=LaunchKind.MAPPING,
+            dram_read_bytes=4.0 * num_rows * volume,
+            dram_write_bytes=8.0 * num_rows * config.num_splits,
+            scalar_ops=2.0 * num_rows * volume,
+            ctas=max(1, num_rows // 256),
+        )
+    )
+    trace.add(
+        KernelLaunch(
+            name="mapping/argsort",
+            kind=LaunchKind.MAPPING,
+            dram_read_bytes=16.0 * num_rows * passes * config.num_splits,
+            # Radix scatter writes are random: sector-amplified.
+            dram_write_bytes=SECTOR_FACTOR
+            * 16.0 * num_rows * passes * config.num_splits,
+            scalar_ops=SORT_OPS_PER_PASS * num_rows * passes * config.num_splits,
+            ctas=max(1, num_rows // 256),
+        )
+    )
+    if config.offline_reorder:
+        trace.add(
+            KernelLaunch(
+                name="mapping/reorder",
+                kind=LaunchKind.MAPPING,
+                # Row gather through the permutation: random row reads.
+                dram_read_bytes=SECTOR_FACTOR * 4.0 * num_rows * volume
+                + 4.0 * num_rows,
+                dram_write_bytes=4.0 * num_rows * volume,
+                scalar_ops=2.0 * num_rows * volume,
+                ctas=max(1, num_rows // 256),
+            )
+        )
+    return trace
+
+
+def implicit_gemm_trace(
+    kmap: KernelMap,
+    c_in: int,
+    c_out: int,
+    schedule: KernelSchedule = DEFAULT_SCHEDULE,
+    precision: Precision = Precision.FP32,
+    config: ImplicitGemmConfig = ImplicitGemmConfig(),
+    tensor_cores: bool = True,
+    charge_mapping: bool = True,
+) -> KernelTrace:
+    """Execution trace of the implicit GEMM dataflow (no numerics).
+
+    The trace includes the mapping launches (bitmask / sort / reorder) so
+    end-to-end comparisons see the sorting overhead the paper highlights
+    (Tables 3/4, Figure 17).  Pass ``charge_mapping=False`` for layers that
+    reuse an already-reordered map (all but the first layer of a group).
+    """
+    itemsize = precision.itemsize
+    nbmap = kmap.nbmap
+    num_rows = kmap.num_outputs
+    if config.num_splits > kmap.volume:
+        # A map cannot be split finer than one offset per segment
+        # (pointwise convolutions have V = 1).
+        config = dataclasses.replace(
+            config, num_splits=kmap.volume
+        )
+    if charge_mapping:
+        trace = _mapping_trace(kmap, config, num_rows)
+    else:
+        trace = KernelTrace()
+
+    pad_rows = (
+        math.ceil(max(num_rows, 1) / schedule.tile_m) * schedule.tile_m
+        if schedule.pad_maps
+        else num_rows
+    )
+    cache_key = (
+        "ig_slots", config.num_splits, config.sort, schedule.warp_rows, pad_rows
+    )
+    if cache_key in kmap.analysis_cache:
+        effective_total, issued_total = kmap.analysis_cache[cache_key]
+    else:
+        reorder = MaskReordering.build(
+            nbmap, num_splits=config.num_splits, sort=config.sort
+        )
+        effective_total = 0
+        issued_total = 0
+        for submap in reorder.reordered_submaps(nbmap):
+            masks = submap >= 0
+            if schedule.pad_maps and pad_rows > num_rows:
+                masks = np.concatenate(
+                    [masks,
+                     np.zeros((pad_rows - num_rows, masks.shape[1]), bool)]
+                )
+            effective, issued = warp_mac_slots(masks, schedule.warp_rows)
+            effective_total += effective
+            issued_total += issued
+        kmap.analysis_cache[cache_key] = (effective_total, issued_total)
+    ctas_total = config.num_splits * gemm_ctas(pad_rows, c_out, schedule)
+
+    a_loads = float(issued_total) * c_in
+    scalar_per_element = (
+        schedule.address_ops_per_element + schedule.boundary_ops_per_element
+    )
+    a_read_amplification = 1.0
+    if config.sort and not config.offline_reorder:
+        # Online reordering chases the permutation inside the kernel: an
+        # extra indirection per element plus disrupted access contiguity
+        # on the gathered rows (Section 6.2 / Figure 19).
+        scalar_per_element += ONLINE_REORDER_OPS
+        a_read_amplification = ONLINE_REORDER_READ_AMPLIFICATION
+
+    split_k = max(1, kmap.volume // config.num_splits) * c_in
+    # Weights are small enough to stay L2-resident across output tiles
+    # (a 27x256x256 FP16 tensor is ~3.5 MB); charge one streaming read
+    # plus one prefetch pass rather than a re-read per M tile.
+    weight_reads = 2.0 * itemsize * kmap.volume * c_in * c_out
+    split_buffers = config.num_splits > 1
+    out_bytes_per_split = (4.0 if split_buffers else itemsize) * num_rows * c_out
+    trace.add(
+        KernelLaunch(
+            name="implicit_gemm/main",
+            kind=LaunchKind.GEMM,
+            flops=2.0 * issued_total * c_in * c_out,
+            dram_read_bytes=(
+                a_read_amplification * itemsize * effective_total * c_in
+                + 4.0 * issued_total  # map loads
+                + weight_reads
+            ),
+            dram_write_bytes=out_bytes_per_split * config.num_splits,
+            scalar_ops=scalar_per_element * a_loads,
+            ctas=max(1, ctas_total),
+            overlapped=schedule.double_buffer,
+            tensor_core_eligible=tensor_cores,
+            compute_efficiency=gemm_efficiency(
+                num_rows, c_out, split_k, schedule
+            ),
+        )
+    )
+    if split_buffers:
+        trace.add(
+            KernelLaunch(
+                name="implicit_gemm/reduce",
+                kind=LaunchKind.REDUCTION,
+                flops=float(config.num_splits) * num_rows * c_out,
+                dram_read_bytes=4.0 * config.num_splits * num_rows * c_out,
+                dram_write_bytes=float(itemsize) * num_rows * c_out,
+                ctas=max(1, num_rows * c_out // 4096),
+                overlapped=True,
+            )
+        )
+    return trace
+
+
+def implicit_gemm(
+    feats: np.ndarray,
+    weights: np.ndarray,
+    kmap: KernelMap,
+    schedule: KernelSchedule = DEFAULT_SCHEDULE,
+    precision: Precision = Precision.FP32,
+    config: ImplicitGemmConfig = ImplicitGemmConfig(),
+    tensor_cores: bool = True,
+) -> Tuple[np.ndarray, KernelTrace]:
+    """Run sparse convolution with the implicit GEMM dataflow."""
+    c_in, c_out = check_conv_args(feats, weights, kmap.volume)
+    nbmap = kmap.nbmap
+    accum = np.zeros((kmap.num_outputs, c_out), dtype=np.float32)
+    for k in range(kmap.volume):
+        idx = nbmap[:, k]
+        valid = idx >= 0
+        if not valid.any():
+            continue
+        accum[valid] += matmul_accumulate(
+            feats[idx[valid]], weights[k], precision
+        )
+    trace = implicit_gemm_trace(
+        kmap, c_in, c_out, schedule, precision, config, tensor_cores
+    )
+    return accum.astype(precision.dtype), trace

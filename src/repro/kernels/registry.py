@@ -1,0 +1,143 @@
+"""Dataflow registry: name-addressable forward kernels for the autotuner."""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.gpusim.trace import KernelTrace
+from repro.kernels.base import DEFAULT_SCHEDULE, KernelSchedule
+from repro.kernels.fetch_on_demand import fetch_on_demand
+from repro.kernels.gather_scatter import gather_gemm_scatter
+from repro.kernels.implicit_gemm import ImplicitGemmConfig, implicit_gemm
+from repro.precision import Precision
+from repro.sparse.kmap import KernelMap
+
+
+class Dataflow(enum.Enum):
+    """The dataflow families in the TorchSparse++ design space (Figure 9)."""
+
+    GATHER_SCATTER = "gather_scatter"
+    GATHER_SCATTER_FUSED = "gather_scatter_fused"
+    FETCH_ON_DEMAND = "fetch_on_demand"
+    FETCH_ON_DEMAND_UNFUSED = "fetch_on_demand_unfused"
+    IMPLICIT_GEMM = "implicit_gemm"
+
+    @property
+    def weight_stationary(self) -> bool:
+        """Whether the dataflow needs weight-stationary maps (Section 4.2)."""
+        return self is not Dataflow.IMPLICIT_GEMM
+
+
+#: All dataflow names, for CLI/docs enumeration.
+DATAFLOWS = tuple(d.value for d in Dataflow)
+
+
+def run_dataflow(
+    dataflow: "Dataflow | str",
+    feats: np.ndarray,
+    weights: np.ndarray,
+    kmap: KernelMap,
+    schedule: KernelSchedule = DEFAULT_SCHEDULE,
+    precision: "Precision | str" = Precision.FP32,
+    ig_config: ImplicitGemmConfig = ImplicitGemmConfig(),
+    tensor_cores: bool = True,
+) -> Tuple[np.ndarray, KernelTrace]:
+    """Execute one sparse convolution with the named dataflow.
+
+    This is the single entry point the autotuner and the baseline engines
+    drive; every dataflow produces numerically equivalent output.
+    """
+    if isinstance(dataflow, str):
+        try:
+            dataflow = Dataflow(dataflow)
+        except ValueError:
+            raise ConfigError(
+                f"unknown dataflow {dataflow!r}; expected one of {DATAFLOWS}"
+            ) from None
+    precision = Precision.parse(precision)
+
+    if dataflow is Dataflow.GATHER_SCATTER:
+        return gather_gemm_scatter(
+            feats, weights, kmap, schedule, precision,
+            fused=False, tensor_cores=tensor_cores,
+        )
+    if dataflow is Dataflow.GATHER_SCATTER_FUSED:
+        return gather_gemm_scatter(
+            feats, weights, kmap, schedule, precision,
+            fused=True, tensor_cores=tensor_cores,
+        )
+    if dataflow is Dataflow.FETCH_ON_DEMAND:
+        return fetch_on_demand(
+            feats, weights, kmap, schedule, precision,
+            block_fused=True, tensor_cores=tensor_cores,
+        )
+    if dataflow is Dataflow.FETCH_ON_DEMAND_UNFUSED:
+        return fetch_on_demand(
+            feats, weights, kmap, schedule, precision,
+            block_fused=False, tensor_cores=tensor_cores,
+        )
+    return implicit_gemm(
+        feats, weights, kmap, schedule, precision,
+        config=ig_config, tensor_cores=tensor_cores,
+    )
+
+
+def trace_dataflow(
+    dataflow: "Dataflow | str",
+    kmap: KernelMap,
+    c_in: int,
+    c_out: int,
+    schedule: KernelSchedule = DEFAULT_SCHEDULE,
+    precision: "Precision | str" = Precision.FP32,
+    ig_config: ImplicitGemmConfig = ImplicitGemmConfig(),
+    tensor_cores: bool = True,
+    charge_mapping: bool = True,
+) -> KernelTrace:
+    """Trace one sparse convolution without executing numerics.
+
+    Trace quantities depend only on the kernel map and shapes, never on
+    feature values, so the autotuner and full-scale workload simulations
+    use this path and skip the matrix arithmetic entirely.
+    """
+    from repro.kernels.fetch_on_demand import fetch_on_demand_trace
+    from repro.kernels.gather_scatter import gather_gemm_scatter_trace
+    from repro.kernels.implicit_gemm import implicit_gemm_trace
+
+    if isinstance(dataflow, str):
+        try:
+            dataflow = Dataflow(dataflow)
+        except ValueError:
+            raise ConfigError(
+                f"unknown dataflow {dataflow!r}; expected one of {DATAFLOWS}"
+            ) from None
+    precision = Precision.parse(precision)
+
+    if dataflow is Dataflow.GATHER_SCATTER:
+        return gather_gemm_scatter_trace(
+            kmap, c_in, c_out, schedule, precision,
+            fused=False, tensor_cores=tensor_cores,
+        )
+    if dataflow is Dataflow.GATHER_SCATTER_FUSED:
+        return gather_gemm_scatter_trace(
+            kmap, c_in, c_out, schedule, precision,
+            fused=True, tensor_cores=tensor_cores,
+        )
+    if dataflow is Dataflow.FETCH_ON_DEMAND:
+        return fetch_on_demand_trace(
+            kmap, c_in, c_out, schedule, precision,
+            block_fused=True, tensor_cores=tensor_cores,
+        )
+    if dataflow is Dataflow.FETCH_ON_DEMAND_UNFUSED:
+        return fetch_on_demand_trace(
+            kmap, c_in, c_out, schedule, precision,
+            block_fused=False, tensor_cores=tensor_cores,
+        )
+    return implicit_gemm_trace(
+        kmap, c_in, c_out, schedule, precision,
+        config=ig_config, tensor_cores=tensor_cores,
+        charge_mapping=charge_mapping,
+    )

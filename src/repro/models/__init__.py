@@ -1,0 +1,20 @@
+"""Model zoo: the seven benchmark workloads of Section 5.1.
+
+* :class:`MinkUNet` — U-Net-shaped segmentation backbone (SemanticKITTI /
+  nuScenes-LiDARSeg), width 0.5x or 1x;
+* :class:`CenterPointBackbone` — SECOND-style sparse 3-D encoder used by
+  CenterPoint detection (nuScenes / Waymo); the paper evaluates only the
+  SparseConv layers of detection models, which is exactly this module.
+"""
+
+from repro.models.minkunet import MinkUNet
+from repro.models.centerpoint import CenterPointBackbone
+from repro.models.registry import WORKLOADS, Workload, get_workload
+
+__all__ = [
+    "MinkUNet",
+    "CenterPointBackbone",
+    "WORKLOADS",
+    "Workload",
+    "get_workload",
+]

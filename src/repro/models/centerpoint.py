@@ -1,0 +1,70 @@
+"""CenterPoint's sparse 3-D encoder (the SECOND/VoxelNet middle extractor).
+
+CenterPoint (Yin et al., CVPR 2021) runs a sparse convolutional backbone
+over the voxelized point cloud, flattens to BEV and continues with dense 2-D
+heads.  The paper evaluates "only the runtime of SparseConv layers" for
+detection workloads (Section 5.1), i.e. exactly this backbone:
+
+* an input submanifold convolution;
+* 3 downsampling stages (stride-2 sparse conv + two submanifold convs),
+  16 -> 32 -> 64 -> 128 channels;
+* a final stride-(2,2,2) convolution producing the BEV-ready volume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.blocks import ConvBlock
+from repro.nn.context import ExecutionContext
+from repro.nn.module import Module, ModuleList
+from repro.nn.sequential import Sequential
+from repro.sparse.tensor import SparseTensor
+
+#: Channel plan of the SECOND-style encoder.
+STAGE_CHANNELS = (16, 32, 64, 128)
+
+
+class CenterPointBackbone(Module):
+    """Sparse encoder of CenterPoint; detection benchmarks time this only."""
+
+    def __init__(self, in_channels: int = 5, seed: int = 0):
+        super().__init__()
+        c0 = STAGE_CHANNELS[0]
+        self.input_conv = ConvBlock(
+            in_channels, c0, 3, label="input", seed=seed
+        )
+        self.stages = ModuleList()
+        prev = c0
+        for i, ch in enumerate(STAGE_CHANNELS[1:], start=1):
+            self.stages.append(
+                Sequential(
+                    ConvBlock(
+                        prev, ch, kernel_size=3, stride=2,
+                        label=f"stage{i}.down", seed=seed + 10 * i,
+                    ),
+                    ConvBlock(
+                        ch, ch, 3, label=f"stage{i}.subm1", seed=seed + 10 * i + 1
+                    ),
+                    ConvBlock(
+                        ch, ch, 3, label=f"stage{i}.subm2", seed=seed + 10 * i + 2
+                    ),
+                )
+            )
+            prev = ch
+        self.out_conv = ConvBlock(
+            prev, prev, kernel_size=2, stride=2, label="out.down",
+            seed=seed + 90,
+        )
+
+    def forward(self, x: SparseTensor, ctx: ExecutionContext) -> SparseTensor:
+        x = self.input_conv(x, ctx)
+        for stage in self.stages:
+            x = stage(x, ctx)
+        return self.out_conv(x, ctx)
+
+    def backward(self, grad: np.ndarray, ctx: ExecutionContext) -> np.ndarray:
+        grad = self.out_conv.backward(grad, ctx)
+        for stage in reversed(list(self.stages)):
+            grad = stage.backward(grad, ctx)
+        return self.input_conv.backward(grad, ctx)

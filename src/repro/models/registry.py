@@ -1,0 +1,97 @@
+"""The seven benchmark workloads of Section 5.1.
+
+========  =============================  ===================  ======
+id        model                          dataset              frames
+========  =============================  ===================  ======
+SK-M-0.5  MinkUNet (0.5x width)          SemanticKITTI        1
+SK-M-1.0  MinkUNet (1x width)            SemanticKITTI        1
+NS-M-1f   MinkUNet (1x)                  nuScenes-LiDARSeg    1
+NS-M-3f   MinkUNet (1x)                  nuScenes-LiDARSeg    3
+NS-C-10f  CenterPoint sparse encoder     nuScenes detection   10
+WM-C-1f   CenterPoint sparse encoder     Waymo Open Dataset   1
+WM-C-3f   CenterPoint sparse encoder     Waymo Open Dataset   3
+========  =============================  ===================  ======
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.data.datasets import DATASETS, DatasetConfig
+from repro.errors import ConfigError
+from repro.models.centerpoint import CenterPointBackbone
+from repro.models.minkunet import MinkUNet
+from repro.nn.module import Module
+from repro.sparse.tensor import SparseTensor
+
+
+@dataclasses.dataclass(frozen=True)
+class Workload:
+    """One benchmark: a model family on a dataset with a frame count."""
+
+    id: str
+    model_family: str  # "minkunet" or "centerpoint"
+    dataset: str
+    frames: int = 1
+    width: float = 1.0
+    task: str = "segmentation"
+
+    def build_model(self, seed: int = 0) -> Module:
+        """Instantiate the (randomly initialised) model."""
+        in_channels = DATASETS[self.dataset].in_channels
+        if self.model_family == "minkunet":
+            return MinkUNet(
+                in_channels=in_channels, width=self.width, seed=seed
+            )
+        if self.model_family == "centerpoint":
+            return CenterPointBackbone(in_channels=in_channels, seed=seed)
+        raise ConfigError(f"unknown model family {self.model_family!r}")
+
+    def make_input(self, seed: int = 0, batch_size: int = 1) -> SparseTensor:
+        """Generate a voxelized input sample (or batch) for this workload."""
+        from repro.data.datasets import make_batch, make_sample
+
+        if batch_size == 1:
+            return make_sample(self.dataset, frames=self.frames, seed=seed)
+        return make_batch(
+            self.dataset, batch_size=batch_size, frames=self.frames, seed=seed
+        )
+
+    @property
+    def dataset_config(self) -> DatasetConfig:
+        return DATASETS[self.dataset]
+
+
+WORKLOADS: Dict[str, Workload] = {
+    w.id: w
+    for w in (
+        Workload("SK-M-0.5", "minkunet", "semantickitti", width=0.5),
+        Workload("SK-M-1.0", "minkunet", "semantickitti", width=1.0),
+        Workload("NS-M-1f", "minkunet", "nuscenes", frames=1),
+        Workload("NS-M-3f", "minkunet", "nuscenes", frames=3),
+        Workload(
+            "NS-C-10f", "centerpoint", "nuscenes", frames=10, task="detection"
+        ),
+        Workload("WM-C-1f", "centerpoint", "waymo", frames=1, task="detection"),
+        Workload("WM-C-3f", "centerpoint", "waymo", frames=3, task="detection"),
+    )
+}
+
+#: The segmentation / detection partitions used by several analyses.
+SEGMENTATION_WORKLOADS = tuple(
+    w for w in WORKLOADS.values() if w.task == "segmentation"
+)
+DETECTION_WORKLOADS = tuple(
+    w for w in WORKLOADS.values() if w.task == "detection"
+)
+
+
+def get_workload(workload_id: str) -> Workload:
+    """Look up a workload by id (case-insensitive)."""
+    for key, workload in WORKLOADS.items():
+        if key.lower() == workload_id.lower():
+            return workload
+    raise ConfigError(
+        f"unknown workload {workload_id!r}; have {sorted(WORKLOADS)}"
+    )

@@ -1,0 +1,42 @@
+"""Sparse neural-network layers and the module system.
+
+Layers execute on :class:`repro.sparse.SparseTensor` inputs through an
+:class:`ExecutionContext` that selects the dataflow configuration per layer
+(fixed for the baseline engines, group-tuned for TorchSparse++) and
+accumulates the :class:`repro.gpusim.KernelTrace` of everything the network
+did — including kernel-map construction, which the paper shows can be half
+of end-to-end runtime.
+"""
+
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.context import ExecutionContext, FixedPolicy, LayerConfig, Role
+from repro.nn.conv import SparseConv3d
+from repro.nn.norm import BatchNorm
+from repro.nn.activation import ReLU
+from repro.nn.sequential import Sequential
+from repro.nn.blocks import ResidualBlock, ConvBlock
+from repro.nn.join import ConcatSkip
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.summary import summarize, summary_table
+
+__all__ = [
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "ExecutionContext",
+    "FixedPolicy",
+    "LayerConfig",
+    "Role",
+    "SparseConv3d",
+    "BatchNorm",
+    "ReLU",
+    "Sequential",
+    "ResidualBlock",
+    "ConvBlock",
+    "ConcatSkip",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "summarize",
+    "summary_table",
+]

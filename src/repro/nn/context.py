@@ -1,0 +1,167 @@
+"""Execution context: per-layer dataflow policy + accumulated trace.
+
+The context is the seam where the Sparse Autotuner plugs in: it maps each
+layer's *map signature* (the paper's group identity, Section 4.2) and kernel
+*role* (forward / dgrad / wgrad, Figure 13) to a :class:`LayerConfig`, and
+it accumulates everything the network executed into one trace whose
+simulated latency is the tuner's objective.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.gpusim.engine import estimate_trace_us, latency_breakdown
+from repro.gpusim.trace import KernelTrace
+from repro.hw.specs import DeviceSpec, get_device
+from repro.kernels.base import DEFAULT_SCHEDULE, KernelSchedule
+from repro.kernels.implicit_gemm import ImplicitGemmConfig
+from repro.kernels.registry import Dataflow
+from repro.precision import Precision
+
+#: A layer's map signature: (tensor_stride, kernel_size, stride, transposed).
+#: Layers sharing a signature share kernel maps and therefore form one
+#: autotuner group.
+Signature = Tuple
+
+
+class Role(enum.Enum):
+    """Which kernel of a layer a config applies to (training tuner axis)."""
+
+    FORWARD = "forward"
+    DGRAD = "dgrad"
+    WGRAD = "wgrad"
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerConfig:
+    """One point in the TorchSparse++ design space (Figure 9)."""
+
+    dataflow: Dataflow = Dataflow.IMPLICIT_GEMM
+    schedule: KernelSchedule = DEFAULT_SCHEDULE
+    ig_config: ImplicitGemmConfig = ImplicitGemmConfig()
+    tensor_cores: bool = True
+
+    def describe(self) -> str:
+        parts = [self.dataflow.value]
+        if self.dataflow is Dataflow.IMPLICIT_GEMM:
+            if not self.ig_config.sort:
+                parts.append("unsorted")
+            else:
+                parts.append(f"splits={self.ig_config.num_splits}")
+        parts.append(
+            f"tile={self.schedule.tile_m}x{self.schedule.tile_n}"
+            f"x{self.schedule.tile_k}"
+        )
+        return " ".join(parts)
+
+
+class FixedPolicy:
+    """Every layer and role gets the same config (baseline engines)."""
+
+    def __init__(
+        self,
+        config: Optional[LayerConfig] = None,
+        per_role: Optional[Dict[Role, LayerConfig]] = None,
+    ):
+        self._config = config or LayerConfig()
+        self._per_role = per_role or {}
+
+    def config(self, signature: Signature, role: Role = Role.FORWARD) -> LayerConfig:
+        return self._per_role.get(role, self._config)
+
+
+class GroupPolicy:
+    """Per-group (and optionally per-role) configs from the autotuner."""
+
+    def __init__(
+        self,
+        assignments: Dict[Signature, Dict[Role, LayerConfig]],
+        default: Optional[LayerConfig] = None,
+    ):
+        self._assignments = assignments
+        self._default = default or LayerConfig()
+
+    def config(self, signature: Signature, role: Role = Role.FORWARD) -> LayerConfig:
+        by_role = self._assignments.get(signature)
+        if not by_role:
+            return self._default
+        return by_role.get(role) or by_role.get(Role.FORWARD, self._default)
+
+
+class ExecutionContext:
+    """Runtime state for one network execution.
+
+    Attributes:
+        device: the simulated GPU.
+        precision: numeric precision for all layers.
+        policy: per-layer/per-role config provider.
+        trace: accumulated kernel trace (reset with :meth:`reset_trace`).
+        training: whether layers should save activations for backward.
+        adaptive_tiling: let conv layers pick tile sizes by workload MACs
+            (Section 6.2) instead of the policy's fixed tiles.
+        simulate_only: skip the matrix arithmetic and propagate zero
+            features — traces (and therefore simulated latency) are exact
+            either way because they depend only on geometry and shapes.
+            This is how full-scale workloads (100k+ voxels, 256 channels)
+            are costed without paying for the numpy matmuls.
+    """
+
+    def __init__(
+        self,
+        device: "DeviceSpec | str" = "a100",
+        precision: "Precision | str" = Precision.FP16,
+        policy: Optional[object] = None,
+        training: bool = False,
+        adaptive_tiling: bool = False,
+        simulate_only: bool = False,
+        map_cost_scale: float = 1.0,
+    ):
+        self.device = get_device(device)
+        self.precision = Precision.parse(precision)
+        self.policy = policy or FixedPolicy()
+        self.trace = KernelTrace()
+        self.training = training
+        self.adaptive_tiling = adaptive_tiling
+        self.simulate_only = simulate_only
+        #: Multiplier on kernel-map construction cost (engines with slow
+        #: coordinate managers, e.g. MinkowskiEngine, set this > 1).
+        self.map_cost_scale = map_cost_scale
+        #: One-shot charge markers: map builds, reorderings and backward
+        #: preparations are charged once per map *per context* — a fresh
+        #: context models a fresh engine run even when the Python-level
+        #: map cache is shared for wall-clock efficiency.
+        self._charged: set = set()
+        #: Optional callback ``(signature=, kmap=, c_in=, c_out=, label=)``
+        #: invoked by every convolution layer — the autotuner's probe hook.
+        self.recorder: Optional[Callable] = None
+
+    def charge_once(self, key: tuple) -> bool:
+        """Return True exactly once per key per context."""
+        if key in self._charged:
+            return False
+        self._charged.add(key)
+        return True
+
+    # ------------------------------------------------------------------ #
+    def config(self, signature: Signature, role: Role = Role.FORWARD) -> LayerConfig:
+        return self.policy.config(signature, role)
+
+    def reset_trace(self) -> None:
+        self.trace = KernelTrace()
+
+    def latency_us(self) -> float:
+        """Simulated latency of everything traced so far."""
+        return estimate_trace_us(self.trace, self.device, self.precision)
+
+    def latency_ms(self) -> float:
+        return self.latency_us() / 1e3
+
+    def breakdown_us(self) -> Dict[str, float]:
+        return latency_breakdown(self.trace, self.device, self.precision)
+
+    def memory_bytes(self) -> float:
+        """Peak-ish DRAM footprint proxy: total bytes written."""
+        return self.trace.summary().dram_write_bytes

@@ -1,0 +1,377 @@
+"""Sparse 3-D convolution layer.
+
+Supports submanifold convolution (stride 1: outputs coincide with inputs),
+strided/generalized convolution (downsampling), transposed ("inverse")
+convolution reusing the encoder's cached kernel map, and pointwise
+(kernel size 1) convolution executed as a plain GEMM with no mapping cost.
+
+The layer resolves its kernel map through the tensor's shared
+:class:`~repro.sparse.tensor.MapCache`; a cache miss charges the mapping
+cost to the execution trace.  In training mode the forward pass saves what
+backward needs; :meth:`backward` runs the dgrad dataflow (forward dataflow
+on the transposed map with transposed weights) and the wgrad kernel, each
+under its own :class:`~repro.nn.context.Role` config — the axis the
+training tuner exploits (Figure 13 / Figure 22).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError, MapError
+from repro.gpusim.trace import KernelTrace
+from repro.kernels.registry import Dataflow, run_dataflow, trace_dataflow
+from repro.kernels.wgrad import wgrad as wgrad_kernel
+from repro.kernels.wgrad import wgrad_trace
+from repro.nn.context import ExecutionContext, LayerConfig, Role, Signature
+from repro.nn.mapping_cost import map_build_trace, map_reorder_trace
+from repro.nn.module import Module, Parameter
+from repro.sparse.hashmap import HashMapStats
+from repro.sparse.kernel_offsets import kernel_volume, normalize_kernel_size
+from repro.sparse.kmap import KernelMap, MapKey, build_kernel_map
+from repro.sparse.tensor import SparseTensor
+
+
+def _identity_kmap(tensor: SparseTensor) -> KernelMap:
+    """Trivial map for pointwise convolution: every output is its input."""
+    n = tensor.num_points
+    return KernelMap(
+        nbmap=np.arange(n, dtype=np.int32).reshape(n, 1),
+        offsets=np.zeros((1, tensor.ndim), dtype=np.int32),
+        num_inputs=n,
+        out_coords=tensor.coords,
+        build_stats=HashMapStats(),
+        key=MapKey(
+            kernel_size=(1,) * tensor.ndim,
+            stride=(1,) * tensor.ndim,
+            tensor_stride=tensor.stride,
+        ),
+        in_coords=tensor.coords,
+    )
+
+
+class SparseConv3d(Module):
+    """Sparse convolution over a :class:`SparseTensor`.
+
+    Args:
+        in_channels / out_channels: feature widths.
+        kernel_size: scalar or per-dimension ``K``.
+        stride: convolution stride; with ``transposed=True`` this is the
+            upsampling factor instead.
+        transposed: inverse convolution — requires that the matching
+            downsampling convolution ran earlier on the same map cache
+            (standard U-Net usage).
+        bias: add a learned per-channel bias.
+        label: name used to prefix this layer's trace launches.
+        seed: weight initialisation seed.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: "int | Tuple[int, ...]" = 3,
+        stride: int = 1,
+        transposed: bool = False,
+        bias: bool = False,
+        label: Optional[str] = None,
+        seed: int = 0,
+        ndim: int = 3,
+    ):
+        super().__init__()
+        if in_channels < 1 or out_channels < 1:
+            raise ConfigError("channel counts must be >= 1")
+        if transposed and stride == 1:
+            raise ConfigError("transposed convolution requires stride > 1")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.ndim = ndim
+        self.kernel_size = normalize_kernel_size(kernel_size, ndim)
+        self.stride = normalize_kernel_size(stride, ndim)
+        self.transposed = transposed
+        self.label = label or f"conv{id(self) % 10000}"
+        volume = kernel_volume(self.kernel_size, ndim)
+        rng = np.random.default_rng(seed)
+        std = math.sqrt(2.0 / (volume * in_channels))
+        self.weight = Parameter(
+            rng.standard_normal((volume, in_channels, out_channels)) * std
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+        self._saved: Optional[dict] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def volume(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def is_pointwise(self) -> bool:
+        return all(k == 1 for k in self.kernel_size) and all(
+            s == 1 for s in self.stride
+        )
+
+    def signature(self, tensor_stride: Tuple[int, ...]) -> Signature:
+        """The layer's map signature = its autotuner group identity."""
+        return (tensor_stride, self.kernel_size, self.stride, self.transposed)
+
+    # ------------------------------------------------------------------ #
+    def _resolve_kmap(
+        self, x: SparseTensor, ctx: ExecutionContext
+    ) -> Tuple[KernelMap, Tuple[int, ...]]:
+        """Fetch or build the kernel map; charges build cost on miss."""
+        if self.is_pointwise:
+            key = (x.stride, (1,) * self.ndim, (1,) * self.ndim, False)
+            kmap = x.cache.get(key)
+            if kmap is None:
+                kmap = x.cache.put(key, _identity_kmap(x))
+            return kmap, x.stride
+
+        if not self.transposed:
+            out_stride = tuple(
+                t * s for t, s in zip(x.stride, self.stride)
+            )
+            key = (x.stride, self.kernel_size, self.stride, False)
+            kmap = x.cache.get(key)
+            if kmap is None:
+                kmap = build_kernel_map(
+                    x.coords,
+                    kernel_size=self.kernel_size,
+                    stride=self.stride,
+                    tensor_stride=x.stride,
+                )
+                x.cache.put(key, kmap)
+            # Build cost is charged once per map per context: a fresh
+            # context models a fresh engine run even when the Python-level
+            # map cache is retained across runs for wall-clock efficiency.
+            if ctx.charge_once((id(kmap), "build")):
+                build = map_build_trace(kmap, f"{self.label}/map")
+                if ctx.map_cost_scale != 1.0:
+                    for launch in build:
+                        launch.scalar_ops *= ctx.map_cost_scale
+                        launch.dram_read_bytes *= ctx.map_cost_scale
+                        launch.dram_write_bytes *= ctx.map_cost_scale
+                ctx.trace.extend(build)
+            return kmap, out_stride
+
+        # Transposed: reuse the map built by the matching downsample conv.
+        out_stride = tuple(t // s for t, s in zip(x.stride, self.stride))
+        if any(t % s for t, s in zip(x.stride, self.stride)):
+            raise ConfigError(
+                f"cannot upsample stride {x.stride} by {self.stride}"
+            )
+        t_key = (x.stride, self.kernel_size, self.stride, True)
+        kmap = x.cache.get(t_key)
+        if kmap is None:
+            base_key = (out_stride, self.kernel_size, self.stride, False)
+            base = x.cache.get(base_key)
+            if base is None:
+                raise MapError(
+                    f"{self.label}: transposed convolution found no cached "
+                    f"map for {base_key}; run the matching downsample first"
+                )
+            kmap = base.transposed()
+            x.cache.put(t_key, kmap)
+            # Transposition reuses the stored pairs; only a relabeling pass
+            # is charged (already near-free, covered by the cached stats).
+        return kmap, out_stride
+
+    def _run(
+        self,
+        feats: np.ndarray,
+        weights: np.ndarray,
+        kmap: KernelMap,
+        config: LayerConfig,
+        ctx: ExecutionContext,
+        tag: str,
+    ) -> np.ndarray:
+        schedule = config.schedule
+        if ctx.adaptive_tiling:
+            from repro.codegen.tiling import adaptive_schedule
+
+            macs = float(kmap.total_pairs) * weights.shape[1] * weights.shape[2]
+            schedule = adaptive_schedule(
+                macs,
+                base=schedule,
+                shape=(
+                    kmap.num_outputs,
+                    weights.shape[2],
+                    kmap.volume * weights.shape[1],
+                ),
+                device=ctx.device,
+            )
+        # Sorting/reordering happens once per (map, config) and is reused
+        # by every other layer in the group (Section 4.2): charge it on
+        # first use only (per context — see MapCache note in _resolve_kmap).
+        charge_mapping = ctx.charge_once(
+            (id(kmap), "reorder", config.dataflow, config.ig_config)
+        )
+
+        if ctx.simulate_only:
+            out = np.zeros(
+                (kmap.num_outputs, weights.shape[2]), dtype=ctx.precision.dtype
+            )
+            trace = trace_dataflow(
+                config.dataflow,
+                kmap,
+                weights.shape[1],
+                weights.shape[2],
+                schedule=schedule,
+                precision=ctx.precision,
+                ig_config=config.ig_config,
+                tensor_cores=config.tensor_cores,
+                charge_mapping=charge_mapping,
+            )
+        else:
+            out, trace = run_dataflow(
+                config.dataflow,
+                feats,
+                weights,
+                kmap,
+                schedule=schedule,
+                precision=ctx.precision,
+                ig_config=config.ig_config,
+                tensor_cores=config.tensor_cores,
+            )
+            if not charge_mapping:
+                trace = KernelTrace(
+                    l for l in trace if not l.name.startswith("mapping/")
+                )
+        for launch in trace:
+            launch.name = f"{self.label}/{tag}:{launch.name}"
+        ctx.trace.extend(trace)
+        return out
+
+    # ------------------------------------------------------------------ #
+    def forward(self, x: SparseTensor, ctx: ExecutionContext) -> SparseTensor:
+        if x.num_channels != self.in_channels:
+            raise ConfigError(
+                f"{self.label}: expected {self.in_channels} input channels, "
+                f"got {x.num_channels}"
+            )
+        kmap, out_stride = self._resolve_kmap(x, ctx)
+        signature = self.signature(x.stride)
+        if ctx.recorder is not None:
+            ctx.recorder(
+                signature=signature,
+                kmap=kmap,
+                c_in=self.in_channels,
+                c_out=self.out_channels,
+                label=self.label,
+            )
+        config = ctx.config(signature, Role.FORWARD)
+        self._mark_structure(kmap, config.dataflow.weight_stationary, ctx)
+        out_feats = self._run(
+            x.feats, self.weight.data, kmap, config, ctx, "fwd"
+        )
+        if self.bias is not None:
+            out_feats = out_feats + self.bias.data.astype(out_feats.dtype)
+        if self.training:
+            self._saved = {
+                "feats": x.feats,
+                "kmap": kmap,
+                "signature": signature,
+            }
+        return SparseTensor(
+            kmap.out_coords, out_feats, stride=out_stride, cache=x.cache
+        )
+
+    def _mark_structure(
+        self, kmap: KernelMap, weight_stationary: bool, ctx: ExecutionContext
+    ) -> None:
+        """Charge a map-restructure pass the first time a map is needed in
+        a storage order it was not built in (Section 4.2: maps are stored
+        weight- or output-stationary and converting costs real time — the
+        reason intra-group heterogeneous dataflows are not allowed)."""
+        if kmap.volume <= 1:
+            return  # pointwise maps have no structure to convert
+        if weight_stationary == kmap.native_weight_stationary:
+            return  # the map already exists in this storage order
+        if not ctx.charge_once((id(kmap), "structure", weight_stationary)):
+            return
+        ctx.trace.extend(map_reorder_trace(kmap, f"{self.label}/map"))
+
+    def _charge_backward_prep(
+        self, kmap: KernelMap, config: LayerConfig, ctx: ExecutionContext
+    ) -> None:
+        """Charge backward map preparation once per distinct backward
+        config (Figure 13): dgrad and wgrad share the same maps, so when
+        the training tuner binds them (sparse-mapping oriented scheme) the
+        backward pass prepares maps once; decoupled configs pay twice."""
+        key = (id(kmap), "bwd_prep", config.dataflow, config.ig_config,
+               config.schedule.tile_m)
+        if not ctx.charge_once(key):
+            return
+        if ctx.charge_once((id(kmap), "bwd_prep_any")):
+            return  # dgrad's own trace already charges its preparation
+        ctx.trace.extend(map_reorder_trace(kmap, f"{self.label}/bwd_map"))
+
+    def backward(self, grad_out: np.ndarray, ctx: ExecutionContext) -> np.ndarray:
+        """Compute input gradients; accumulates weight/bias gradients."""
+        if self._saved is None:
+            raise RuntimeError(
+                f"{self.label}: backward called without a training forward"
+            )
+        feats = self._saved["feats"]
+        kmap: KernelMap = self._saved["kmap"]
+        signature = self._saved["signature"]
+
+        # dgrad: forward dataflow on the transposed map with W^T per offset.
+        dgrad_cfg = ctx.config(signature, Role.DGRAD)
+        self._charge_backward_prep(kmap, dgrad_cfg, ctx)
+        if "transposed" not in kmap.analysis_cache:
+            kmap.analysis_cache["transposed"] = kmap.transposed()
+        t_kmap = kmap.analysis_cache["transposed"]
+        w_t = np.ascontiguousarray(self.weight.data.transpose(0, 2, 1))
+        grad_in = self._run(grad_out, w_t, t_kmap, dgrad_cfg, ctx, "dgrad")
+
+        # wgrad under its own config.
+        wgrad_cfg = ctx.config(signature, Role.WGRAD)
+        gathered = wgrad_cfg.dataflow in (
+            Dataflow.GATHER_SCATTER,
+            Dataflow.GATHER_SCATTER_FUSED,
+        )
+        self._charge_backward_prep(kmap, wgrad_cfg, ctx)
+        online = (
+            wgrad_cfg.dataflow is Dataflow.IMPLICIT_GEMM
+            and wgrad_cfg.ig_config.sort
+            and not wgrad_cfg.ig_config.offline_reorder
+        )
+        sorted_maps = (
+            wgrad_cfg.dataflow is Dataflow.IMPLICIT_GEMM
+            and wgrad_cfg.ig_config.sort
+        )
+        if ctx.simulate_only:
+            grad_w = np.zeros_like(self.weight.data)
+            trace = wgrad_trace(
+                kmap,
+                self.in_channels,
+                self.out_channels,
+                schedule=wgrad_cfg.schedule,
+                precision=ctx.precision,
+                gathered=gathered,
+                online_reorder=online,
+                sorted_maps=sorted_maps,
+                tensor_cores=wgrad_cfg.tensor_cores,
+            )
+        else:
+            grad_w, trace = wgrad_kernel(
+                feats,
+                grad_out,
+                kmap,
+                schedule=wgrad_cfg.schedule,
+                precision=ctx.precision,
+                gathered=gathered,
+                online_reorder=online,
+                sorted_maps=sorted_maps,
+                tensor_cores=wgrad_cfg.tensor_cores,
+            )
+        for launch in trace:
+            launch.name = f"{self.label}/wgrad:{launch.name}"
+        ctx.trace.extend(trace)
+        self.weight.accumulate(grad_w)
+        if self.bias is not None:
+            self.bias.accumulate(grad_out.sum(axis=0))
+        return grad_in

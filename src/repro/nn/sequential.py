@@ -1,0 +1,31 @@
+"""Sequential container with explicit backward traversal."""
+
+from __future__ import annotations
+
+from repro.nn.context import ExecutionContext
+from repro.nn.module import Module, ModuleList
+from repro.sparse.tensor import SparseTensor
+
+
+class Sequential(Module):
+    """Run modules in order; backward runs them in reverse."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.layers = ModuleList(list(modules))
+
+    def forward(self, x: SparseTensor, ctx: ExecutionContext) -> SparseTensor:
+        for layer in self.layers:
+            x = layer(x, ctx)
+        return x
+
+    def backward(self, grad, ctx: ExecutionContext):
+        for layer in reversed(list(self.layers)):
+            grad = layer.backward(grad, ctx)
+        return grad
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

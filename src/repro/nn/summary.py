@@ -1,0 +1,75 @@
+"""Model inspection: per-layer parameter / workload summaries."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.nn.context import ExecutionContext
+from repro.nn.module import Module
+from repro.sparse.tensor import SparseTensor
+from repro.utils.format import format_si, format_table
+
+
+@dataclasses.dataclass
+class LayerSummary:
+    """Shape and workload of one convolution layer on a given input."""
+
+    label: str
+    signature: tuple
+    num_outputs: int
+    c_in: int
+    c_out: int
+    effective_macs: float
+    mean_neighbors: float
+
+
+def summarize(model: Module, sample: SparseTensor) -> List[LayerSummary]:
+    """Probe ``model`` on ``sample`` and collect per-conv-layer workloads."""
+    rows: List[LayerSummary] = []
+
+    def record(signature, kmap, c_in, c_out, label):
+        rows.append(
+            LayerSummary(
+                label=label,
+                signature=signature,
+                num_outputs=kmap.num_outputs,
+                c_in=c_in,
+                c_out=c_out,
+                effective_macs=float(kmap.total_pairs) * c_in * c_out,
+                mean_neighbors=kmap.mean_neighbors,
+            )
+        )
+
+    ctx = ExecutionContext(simulate_only=True)
+    ctx.recorder = record
+    was_training = model.training
+    model.eval()
+    model(sample, ctx)
+    model.train(was_training)
+    return rows
+
+
+def summary_table(model: Module, sample: SparseTensor) -> str:
+    """Formatted per-layer summary plus totals."""
+    layers = summarize(model, sample)
+    total_macs = sum(l.effective_macs for l in layers)
+    rows = [
+        [
+            l.label,
+            l.num_outputs,
+            f"{l.c_in}->{l.c_out}",
+            format_si(l.effective_macs, ""),
+            f"{l.mean_neighbors:.1f}",
+        ]
+        for l in layers
+    ]
+    rows.append(
+        ["TOTAL", "", f"{model.num_parameters()} params",
+         format_si(total_macs, ""), ""]
+    )
+    return format_table(
+        ["layer", "outputs", "channels", "MACs", "nbrs"],
+        rows,
+        title=f"{type(model).__name__} on {sample}",
+    )

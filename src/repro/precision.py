@@ -1,0 +1,64 @@
+"""Numeric precision handling.
+
+The paper evaluates three data precisions (Figure 14): FP16 (tensor cores),
+TF32 (tensor cores, Ampere only) and FP32 (CUDA cores, or tensor cores where
+the device supports it).  In this reproduction a :class:`Precision` selects
+
+* the numpy dtype used for *storage and compute* in the numerically exact
+  dataflow kernels, and
+* which throughput column of a :class:`repro.hw.DeviceSpec` the performance
+  model uses.
+
+TF32 stores 19 bits of mantissa; numerically we model it as float32 storage
+with float32 compute (the error characteristics of TF32 are irrelevant to the
+dataflow logic), but it occupies its own throughput class.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class Precision(enum.Enum):
+    """Data precision for sparse convolution compute."""
+
+    FP16 = "fp16"
+    TF32 = "tf32"
+    FP32 = "fp32"
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Numpy dtype used for feature/weight storage."""
+        if self is Precision.FP16:
+            return np.dtype(np.float16)
+        return np.dtype(np.float32)
+
+    @property
+    def accumulator_dtype(self) -> np.dtype:
+        """Accumulation dtype: tensor cores accumulate FP16 GEMMs in FP32."""
+        return np.dtype(np.float32)
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per element in DRAM."""
+        return int(self.dtype.itemsize)
+
+    @classmethod
+    def parse(cls, value: "Precision | str") -> "Precision":
+        """Coerce a string like ``"fp16"`` (case-insensitive) to a member."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            valid = ", ".join(p.value for p in cls)
+            raise ValueError(
+                f"unknown precision {value!r}; expected one of {valid}"
+            ) from None
+
+
+def cast_features(array: np.ndarray, precision: Precision) -> np.ndarray:
+    """Cast a feature/weight array to the storage dtype of ``precision``."""
+    return np.ascontiguousarray(array, dtype=precision.dtype)

@@ -1,0 +1,47 @@
+"""Sparse tensor substrate: coordinates, hashing, kernel maps, bitmasks.
+
+This package implements everything a sparse convolution library needs *below*
+the compute kernels:
+
+* :mod:`repro.sparse.coords` — coordinate packing and uniqueness;
+* :mod:`repro.sparse.hashmap` — a GPU-style open-addressing hash table with
+  probe accounting (mapping cost feeds the performance model);
+* :mod:`repro.sparse.quantize` — voxelization of raw point clouds;
+* :mod:`repro.sparse.kernel_offsets` — the neighbourhood :math:`\\Delta^D(K)`;
+* :mod:`repro.sparse.kmap` — kernel maps in both weight-stationary and
+  output-stationary form (Section 2.2 / 4.2 of the paper);
+* :mod:`repro.sparse.bitmask` — neighbour bitmasks, sorting, and s-way mask
+  splitting (Figures 5, 6 and 10);
+* :mod:`repro.sparse.tensor` — the user-facing :class:`SparseTensor`.
+"""
+
+from repro.sparse.coords import pack_coords, unique_coords
+from repro.sparse.hashmap import CoordinateHashMap
+from repro.sparse.kernel_offsets import kernel_offsets, kernel_volume
+from repro.sparse.kmap import KernelMap, build_kernel_map
+from repro.sparse.bitmask import (
+    compute_bitmasks,
+    sort_bitmasks,
+    split_offsets,
+    MaskReordering,
+    warp_mac_slots,
+)
+from repro.sparse.quantize import sparse_quantize
+from repro.sparse.tensor import SparseTensor
+
+__all__ = [
+    "pack_coords",
+    "unique_coords",
+    "CoordinateHashMap",
+    "kernel_offsets",
+    "kernel_volume",
+    "KernelMap",
+    "build_kernel_map",
+    "compute_bitmasks",
+    "sort_bitmasks",
+    "split_offsets",
+    "MaskReordering",
+    "warp_mac_slots",
+    "sparse_quantize",
+    "SparseTensor",
+]

@@ -1,0 +1,92 @@
+"""Coordinate packing and uniqueness.
+
+Coordinates are ``(N, 1 + D)`` int32 arrays whose first column is the batch
+index and remaining ``D`` columns are integer voxel coordinates.  For hashing
+and uniqueness we pack each row into a single int64 key: 16 bits of batch and
+16 bits per spatial dimension (biased to be non-negative), which covers every
+workload in the paper (LiDAR grids are at most a few thousand voxels across).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+#: Bits allocated per packed field.
+_FIELD_BITS = 16
+#: Bias added to spatial coordinates so negatives pack cleanly.
+_BIAS = 1 << (_FIELD_BITS - 1)
+_FIELD_MASK = (1 << _FIELD_BITS) - 1
+
+
+def _check_coords(coords: np.ndarray) -> np.ndarray:
+    if coords.ndim != 2 or coords.shape[1] < 2:
+        raise ShapeError(
+            f"coords must be (N, 1 + D) with D >= 1, got shape {coords.shape}"
+        )
+    return coords
+
+
+def pack_coords(coords: np.ndarray) -> np.ndarray:
+    """Pack ``(N, 1 + D)`` integer coordinates into int64 keys.
+
+    The packing is injective for coordinates in ``[-32768, 32767]`` and batch
+    indices in ``[0, 65535]``; values outside this range raise ``ShapeError``.
+    """
+    coords = _check_coords(np.asarray(coords))
+    num_fields = coords.shape[1]
+    if num_fields * _FIELD_BITS > 64:
+        raise ShapeError(
+            f"cannot pack {num_fields} fields of {_FIELD_BITS} bits into int64"
+        )
+    spatial = coords[:, 1:]
+    if spatial.size and (
+        spatial.min() < -_BIAS or spatial.max() >= _BIAS
+    ):
+        raise ShapeError(
+            "spatial coordinates out of packable range "
+            f"[{-_BIAS}, {_BIAS - 1}]: min={spatial.min()}, max={spatial.max()}"
+        )
+    batch = coords[:, 0]
+    if batch.size and (batch.min() < 0 or batch.max() > _FIELD_MASK):
+        raise ShapeError("batch index out of packable range [0, 65535]")
+
+    keys = batch.astype(np.int64)
+    for dim in range(1, num_fields):
+        keys = (keys << _FIELD_BITS) | (
+            (coords[:, dim].astype(np.int64) + _BIAS) & _FIELD_MASK
+        )
+    return keys
+
+
+def unpack_coords(keys: np.ndarray, num_spatial_dims: int) -> np.ndarray:
+    """Inverse of :func:`pack_coords`."""
+    keys = np.asarray(keys, dtype=np.int64)
+    out = np.empty((len(keys), 1 + num_spatial_dims), dtype=np.int32)
+    remaining = keys.copy()
+    for dim in range(num_spatial_dims, 0, -1):
+        out[:, dim] = (remaining & _FIELD_MASK).astype(np.int32) - _BIAS
+        remaining >>= _FIELD_BITS
+    out[:, 0] = remaining.astype(np.int32)
+    return out
+
+
+def unique_coords(coords: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Deduplicate coordinate rows.
+
+    Returns ``(unique, inverse)`` where ``unique`` preserves first-occurrence
+    order (matching the behaviour of GPU hash-based deduplication, which keeps
+    whichever point wins the hash insert — first occurrence here for
+    determinism) and ``inverse`` maps each original row to its unique row.
+    """
+    coords = _check_coords(np.asarray(coords))
+    keys = pack_coords(coords)
+    _, first_index, inverse = np.unique(keys, return_index=True, return_inverse=True)
+    # np.unique sorts by key; re-order to first-occurrence order.
+    order = np.argsort(first_index, kind="stable")
+    rank = np.empty_like(order)
+    rank[order] = np.arange(len(order))
+    return coords[np.sort(first_index)], rank[inverse]

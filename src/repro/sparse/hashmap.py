@@ -1,0 +1,134 @@
+"""GPU-style coordinate hash table.
+
+Sparse convolution libraries build their kernel maps by inserting all input
+coordinates into a hash table on the GPU and probing it once per (output
+point, kernel offset) pair.  We reproduce that structure — an open-addressing
+table with linear probing, vectorised over numpy — rather than using a Python
+``dict``, for two reasons:
+
+* the *probe counts* are the dominant cost of mapping operations, which the
+  paper shows can be up to 50% of end-to-end runtime (Section 6.3); the table
+  reports them so :mod:`repro.gpusim` can charge for them;
+* determinism matches real systems: every query is a pure function of the
+  inserted key set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import MapError
+
+#: 64-bit multiplicative hashing constant (Fibonacci hashing).
+_HASH_MULT = np.int64(-7046029254386353131)  # 0x9E3779B97F4A7C15 as signed
+#: Sentinel for an empty slot.
+_EMPTY = np.int64(np.iinfo(np.int64).min)
+
+
+def _hash_keys(keys: np.ndarray, capacity: int) -> np.ndarray:
+    """Map int64 keys to initial probe slots in ``[0, capacity)``.
+
+    ``capacity`` must be a power of two; Fibonacci multiplicative hashing
+    takes the top ``log2(capacity)`` bits of the mixed key, which covers
+    the whole table uniformly (a partially covered table degrades linear
+    probing to long chains).
+    """
+    log2_capacity = capacity.bit_length() - 1
+    mixed = keys * _HASH_MULT
+    return mixed.astype(np.uint64) >> np.uint64(64 - log2_capacity)
+
+
+@dataclasses.dataclass
+class HashMapStats:
+    """Accounting for one table's lifetime (consumed by the cost model)."""
+
+    inserts: int = 0
+    insert_probes: int = 0
+    queries: int = 0
+    query_probes: int = 0
+
+    def merged_with(self, other: "HashMapStats") -> "HashMapStats":
+        return HashMapStats(
+            inserts=self.inserts + other.inserts,
+            insert_probes=self.insert_probes + other.insert_probes,
+            queries=self.queries + other.queries,
+            query_probes=self.query_probes + other.query_probes,
+        )
+
+
+class CoordinateHashMap:
+    """Open-addressing int64 -> int32 map with linear probing.
+
+    Keys must be unique (coordinate sets are deduplicated before insertion,
+    as in real libraries).  Values are the row indices of the coordinates.
+    """
+
+    #: Table slots per key (load factor 0.5, typical for GPU hash tables).
+    GROWTH_FACTOR = 2
+
+    def __init__(self, keys: np.ndarray):
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.ndim != 1:
+            raise MapError(f"hash keys must be 1-D, got shape {keys.shape}")
+        if len(np.unique(keys)) != len(keys):
+            raise MapError("hash keys must be unique; deduplicate coords first")
+        if np.any(keys == _EMPTY):
+            raise MapError("key collides with the empty-slot sentinel")
+        self.stats = HashMapStats()
+        # Next power of two at or above GROWTH_FACTOR * N (load <= 0.5).
+        wanted = max(4, self.GROWTH_FACTOR * len(keys))
+        self._capacity = 1 << (wanted - 1).bit_length()
+        self._slots_keys = np.full(self._capacity, _EMPTY, dtype=np.int64)
+        self._slots_vals = np.full(self._capacity, -1, dtype=np.int32)
+        self._insert(keys, np.arange(len(keys), dtype=np.int32))
+
+    def __len__(self) -> int:
+        return int(np.count_nonzero(self._slots_keys != _EMPTY))
+
+    # ------------------------------------------------------------------ #
+    def _insert(self, keys: np.ndarray, values: np.ndarray) -> None:
+        slots = _hash_keys(keys, self._capacity).astype(np.int64)
+        pending = np.arange(len(keys))
+        while len(pending):
+            at = slots[pending]
+            occupied = self._slots_keys[at] != _EMPTY
+            free = pending[~occupied]
+            if len(free):
+                # Among pending keys hashing to the same free slot only the
+                # first wins (atomicCAS semantics); keep first occurrence.
+                target = slots[free]
+                _, winners = np.unique(target, return_index=True)
+                chosen = free[winners]
+                self._slots_keys[slots[chosen]] = keys[chosen]
+                self._slots_vals[slots[chosen]] = values[chosen]
+                lost = np.setdiff1d(free, chosen, assume_unique=True)
+                pending = np.concatenate([pending[occupied], lost])
+            else:
+                pending = pending[occupied]
+            slots[pending] = (slots[pending] + 1) % self._capacity
+            self.stats.insert_probes += len(pending)
+        self.stats.inserts += len(keys)
+        self.stats.insert_probes += len(keys)  # the successful probe
+
+    # ------------------------------------------------------------------ #
+    def query(self, keys: np.ndarray) -> np.ndarray:
+        """Look up ``keys``; returns int32 values, ``-1`` for missing keys."""
+        keys = np.asarray(keys, dtype=np.int64)
+        result = np.full(len(keys), -1, dtype=np.int32)
+        slots = _hash_keys(keys, self._capacity).astype(np.int64)
+        active = np.arange(len(keys))
+        self.stats.queries += len(keys)
+        while len(active):
+            self.stats.query_probes += len(active)
+            at = slots[active]
+            slot_keys = self._slots_keys[at]
+            hit = slot_keys == keys[active]
+            result[active[hit]] = self._slots_vals[at[hit]]
+            miss_empty = slot_keys == _EMPTY
+            # Continue probing only where the slot is occupied by another key.
+            keep = ~hit & ~miss_empty
+            active = active[keep]
+            slots[active] = (slots[active] + 1) % self._capacity
+        return result

@@ -1,0 +1,59 @@
+"""Kernel neighbourhood generation: :math:`\\Delta^D(K)` from Section 2.1.
+
+For odd kernel sizes the neighbourhood is centred
+(``Delta^1(3) = {-1, 0, 1}``); for even sizes it is the forward convention
+used by SpConv (``Delta^1(2) = {0, 1}``).  Offsets are enumerated with the
+last dimension fastest, matching the weight layout ``W[K^D, C_in, C_out]``
+used throughout the library.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+KernelSize = Union[int, Sequence[int]]
+
+
+def normalize_kernel_size(kernel_size: KernelSize, ndim: int) -> Tuple[int, ...]:
+    """Expand a scalar kernel size to one entry per spatial dimension."""
+    if isinstance(kernel_size, int):
+        sizes = (kernel_size,) * ndim
+    else:
+        sizes = tuple(int(k) for k in kernel_size)
+        if len(sizes) != ndim:
+            raise ConfigError(
+                f"kernel_size has {len(sizes)} entries for {ndim} dimensions"
+            )
+    if any(k < 1 for k in sizes):
+        raise ConfigError(f"kernel sizes must be >= 1, got {sizes}")
+    return sizes
+
+
+def _axis_offsets(k: int) -> np.ndarray:
+    if k % 2 == 1:
+        return np.arange(-(k // 2), k // 2 + 1, dtype=np.int32)
+    return np.arange(0, k, dtype=np.int32)
+
+
+def kernel_offsets(kernel_size: KernelSize, ndim: int = 3) -> np.ndarray:
+    """Return the ``(K^D, D)`` int32 offset table for ``Delta^D(K)``."""
+    sizes = normalize_kernel_size(kernel_size, ndim)
+    grids = np.meshgrid(*[_axis_offsets(k) for k in sizes], indexing="ij")
+    return np.stack([g.reshape(-1) for g in grids], axis=1)
+
+
+def kernel_volume(kernel_size: KernelSize, ndim: int = 3) -> int:
+    """``K^D``: the number of weights / kernel offsets."""
+    sizes = normalize_kernel_size(kernel_size, ndim)
+    return int(np.prod(sizes))
+
+
+def identity_offset_index(kernel_size: KernelSize, ndim: int = 3) -> int:
+    """Index of the all-zero offset, or ``-1`` if absent (even kernels)."""
+    offsets = kernel_offsets(kernel_size, ndim)
+    hits = np.where(~offsets.any(axis=1))[0]
+    return int(hits[0]) if len(hits) else -1

@@ -1,0 +1,81 @@
+"""Serialization of tuned policies.
+
+A tuned schedule "could be reused for millions of scenes in real-world ADAS
+applications" (Section 4.2) — so it must survive the process.  Policies are
+stored as JSON keyed by the string form of each map signature.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+from repro.kernels.base import KernelSchedule
+from repro.kernels.implicit_gemm import ImplicitGemmConfig
+from repro.kernels.registry import Dataflow
+from repro.nn.context import GroupPolicy, LayerConfig, Role, Signature
+
+
+def _config_to_dict(config: LayerConfig) -> dict:
+    return {
+        "dataflow": config.dataflow.value,
+        "tile": [config.schedule.tile_m, config.schedule.tile_n,
+                 config.schedule.tile_k],
+        "warp_rows": config.schedule.warp_rows,
+        "num_splits": config.ig_config.num_splits,
+        "sort": config.ig_config.sort,
+        "offline_reorder": config.ig_config.offline_reorder,
+        "tensor_cores": config.tensor_cores,
+    }
+
+
+def _config_from_dict(data: dict) -> LayerConfig:
+    tile_m, tile_n, tile_k = data["tile"]
+    return LayerConfig(
+        dataflow=Dataflow(data["dataflow"]),
+        schedule=KernelSchedule(
+            tile_m=tile_m, tile_n=tile_n, tile_k=tile_k,
+            warp_rows=min(data["warp_rows"], tile_m),
+        ),
+        ig_config=ImplicitGemmConfig(
+            num_splits=data["num_splits"],
+            sort=data["sort"],
+            offline_reorder=data["offline_reorder"],
+        ),
+        tensor_cores=data["tensor_cores"],
+    )
+
+
+def _signature_to_key(signature: Signature) -> str:
+    return repr(tuple(signature))
+
+
+def save_policy(policy: GroupPolicy, path: "str | Path") -> None:
+    """Write a tuned policy to JSON."""
+    payload: Dict[str, dict] = {}
+    for signature, by_role in policy._assignments.items():
+        payload[_signature_to_key(signature)] = {
+            role.value: _config_to_dict(config)
+            for role, config in by_role.items()
+        }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_policy(path: "str | Path") -> GroupPolicy:
+    """Load a policy saved by :func:`save_policy`.
+
+    Signatures round-trip through ``repr``/``eval`` of plain tuples of ints
+    and bools (no arbitrary code: the payload is validated to contain only
+    tuple/int/bool literals).
+    """
+    import ast
+
+    payload = json.loads(Path(path).read_text())
+    assignments = {}
+    for key, by_role in payload.items():
+        signature = ast.literal_eval(key)
+        assignments[signature] = {
+            Role(role): _config_from_dict(cfg) for role, cfg in by_role.items()
+        }
+    return GroupPolicy(assignments)

@@ -1,0 +1,90 @@
+"""Design spaces (Figure 9).
+
+The TorchSparse++ space is a strict superset of SpConv v2's: it adds the
+unsorted implicit GEMM dataflow, mask splits beyond 2, the fetch-on-demand
+dataflow, and per-workload tile sizes (adaptive tiling handles the tile
+axis at execution time; the space enumerates the dataflow axis).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+from repro.kernels.base import (
+    DEFAULT_SCHEDULE,
+    LARGE_TILE,
+    SMALL_TILE,
+    KernelSchedule,
+)
+from repro.kernels.implicit_gemm import ImplicitGemmConfig
+from repro.kernels.registry import Dataflow
+from repro.nn.context import LayerConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignSpace:
+    """A named list of candidate layer configurations."""
+
+    name: str
+    candidates: Tuple[LayerConfig, ...]
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def __iter__(self):
+        return iter(self.candidates)
+
+
+def _ig(split: int, schedule: KernelSchedule) -> LayerConfig:
+    return LayerConfig(
+        dataflow=Dataflow.IMPLICIT_GEMM,
+        schedule=schedule,
+        ig_config=ImplicitGemmConfig.from_paper_notation(split),
+    )
+
+
+def implicit_gemm_candidates(
+    splits: Sequence[int],
+    schedules: Sequence[KernelSchedule] = (
+        LARGE_TILE,
+        DEFAULT_SCHEDULE,
+        SMALL_TILE,
+    ),
+) -> List[LayerConfig]:
+    """Implicit GEMM configs over split values (0 = unsorted) and tiles."""
+    return [_ig(split, sched) for split in splits for sched in schedules]
+
+
+#: SpConv v2's restricted space: sorted implicit GEMM with one split
+#: (Section 6.1: "the default setting (split=1) in SpConv v2").
+SPCONV2_SPACE = DesignSpace(
+    name="spconv2",
+    candidates=tuple(implicit_gemm_candidates(splits=(1,))),
+)
+
+#: TorchSparse++ without fetch-on-demand (used by ablations).
+TORCHSPARSEPP_IG_ONLY_SPACE = DesignSpace(
+    name="torchsparsepp-ig",
+    candidates=tuple(implicit_gemm_candidates(splits=(0, 1, 2, 3, 4))),
+)
+
+#: The full TorchSparse++ space (Figure 9): implicit GEMM with splits
+#: {0 (unsorted), 1, 2, 3, 4}, plus block-fused fetch-on-demand.
+TORCHSPARSEPP_SPACE = DesignSpace(
+    name="torchsparsepp",
+    candidates=tuple(
+        implicit_gemm_candidates(splits=(0, 1, 2, 3, 4))
+        + [
+            LayerConfig(dataflow=Dataflow.FETCH_ON_DEMAND, schedule=sched)
+            for sched in (LARGE_TILE, DEFAULT_SCHEDULE, SMALL_TILE)
+        ]
+    ),
+)
+
+
+def split_space(splits: Sequence[int], name: str = "splits") -> DesignSpace:
+    """An implicit-GEMM-only space over the given split set (Table 5)."""
+    return DesignSpace(
+        name=name, candidates=tuple(implicit_gemm_candidates(splits))
+    )

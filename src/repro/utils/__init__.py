@@ -1,0 +1,21 @@
+"""Small shared utilities (RNG handling, formatting, validation)."""
+
+from repro.utils.rng import as_rng
+from repro.utils.format import format_si, format_table, geomean
+from repro.utils.validation import (
+    check_2d,
+    check_dtype_floating,
+    check_positive,
+    check_same_length,
+)
+
+__all__ = [
+    "as_rng",
+    "format_si",
+    "format_table",
+    "geomean",
+    "check_2d",
+    "check_dtype_floating",
+    "check_positive",
+    "check_same_length",
+]

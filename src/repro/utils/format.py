@@ -1,0 +1,53 @@
+"""Human-readable formatting helpers for experiment reports."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+_SI_PREFIXES = [(1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")]
+
+
+def format_si(value: float, unit: str = "", digits: int = 2) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``format_si(2.5e9) == '2.50G'``."""
+    magnitude = abs(value)
+    for threshold, prefix in _SI_PREFIXES:
+        if magnitude >= threshold:
+            return f"{value / threshold:.{digits}f}{prefix}{unit}"
+    return f"{value:.{digits}f}{unit}"
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; raises ``ValueError`` on empty or non-positive input."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a simple aligned text table (used by the benchmark harness)."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

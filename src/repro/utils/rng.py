@@ -1,0 +1,30 @@
+"""Random-number-generator plumbing.
+
+All stochastic code in the library accepts ``seed: int | np.random.Generator``
+and normalises through :func:`as_rng`, so experiments are reproducible
+end-to-end from a single integer.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def as_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` produces a fresh non-deterministic generator; an ``int`` seeds a
+    new PCG64 generator; an existing generator is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list:
+    """Derive ``count`` independent child generators from ``rng``."""
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(count)]

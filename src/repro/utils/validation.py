@@ -1,0 +1,35 @@
+"""Argument-validation helpers that raise library-specific exceptions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def check_2d(array: np.ndarray, name: str) -> np.ndarray:
+    """Require a 2-D array; returns it for chaining."""
+    if array.ndim != 2:
+        raise ShapeError(f"{name} must be 2-D, got shape {array.shape}")
+    return array
+
+
+def check_same_length(a: np.ndarray, b: np.ndarray, a_name: str, b_name: str) -> None:
+    """Require two arrays to agree on their first dimension."""
+    if len(a) != len(b):
+        raise ShapeError(
+            f"{a_name} and {b_name} must have the same length "
+            f"({len(a)} != {len(b)})"
+        )
+
+
+def check_dtype_floating(array: np.ndarray, name: str) -> None:
+    """Require a floating-point array."""
+    if not np.issubdtype(array.dtype, np.floating):
+        raise ShapeError(f"{name} must be floating point, got {array.dtype}")
+
+
+def check_positive(value: float, name: str) -> None:
+    """Require a strictly positive scalar."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")

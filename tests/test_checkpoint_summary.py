@@ -1,0 +1,89 @@
+"""Tests for model checkpointing and the summary utility."""
+
+import numpy as np
+import pytest
+
+from repro.models import MinkUNet
+from repro.nn import ConvBlock, ExecutionContext, Sequential, SparseConv3d
+from repro.nn.summary import summarize, summary_table
+from repro.sparse import SparseTensor
+
+
+def cloud(n=150, seed=0):
+    rng = np.random.default_rng(seed)
+    coords = np.unique(
+        np.concatenate(
+            [np.zeros((n, 1), np.int32),
+             rng.integers(0, 12, (n, 3)).astype(np.int32)],
+            axis=1,
+        ),
+        axis=0,
+    )
+    return SparseTensor(
+        coords, rng.standard_normal((len(coords), 4)).astype(np.float32)
+    )
+
+
+class TestStateDict:
+    def test_roundtrip_restores_outputs(self):
+        x = cloud()
+        source = Sequential(ConvBlock(4, 8, label="a", seed=1),
+                            ConvBlock(8, 8, label="b", seed=2))
+        target = Sequential(ConvBlock(4, 8, label="a", seed=9),
+                            ConvBlock(8, 8, label="b", seed=10))
+        ref = source(x, ExecutionContext(precision="fp32"))
+        target.load_state_dict(source.state_dict())
+        out = target(cloud(), ExecutionContext(precision="fp32"))
+        np.testing.assert_allclose(out.feats, ref.feats, rtol=1e-5)
+
+    def test_includes_running_stats(self):
+        model = ConvBlock(4, 8)
+        state = model.state_dict()
+        assert any("running_mean" in k for k in state)
+
+    def test_missing_key_raises(self):
+        model = SparseConv3d(4, 8, 3)
+        with pytest.raises(KeyError):
+            model.load_state_dict({})
+
+    def test_shape_mismatch_raises(self):
+        model = SparseConv3d(4, 8, 3)
+        state = model.state_dict()
+        state["weight"] = np.zeros((1, 1, 1))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        model = SparseConv3d(4, 8, 3)
+        state = model.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_minkunet_roundtrip(self):
+        a = MinkUNet(in_channels=4, num_classes=3, width=0.25, seed=0)
+        b = MinkUNet(in_channels=4, num_classes=3, width=0.25, seed=42)
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(),
+                                    b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+
+class TestSummary:
+    def test_summarize_counts_convs(self):
+        model = Sequential(ConvBlock(4, 8), ConvBlock(8, 16))
+        layers = summarize(model, cloud())
+        assert len(layers) == 2
+        assert layers[0].c_in == 4 and layers[1].c_out == 16
+        assert all(l.effective_macs > 0 for l in layers)
+
+    def test_summary_preserves_training_mode(self):
+        model = ConvBlock(4, 8)
+        model.train()
+        summarize(model, cloud())
+        assert model.training
+
+    def test_summary_table_renders(self):
+        model = Sequential(ConvBlock(4, 8, label="stem"))
+        text = summary_table(model, cloud())
+        assert "stem" in text and "TOTAL" in text

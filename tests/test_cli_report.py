@@ -1,0 +1,80 @@
+"""Tests for the CLI and the trace-report utilities."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.gpusim.report import by_layer, layer_report, timeline
+from repro.gpusim.trace import KernelLaunch, KernelTrace, LaunchKind
+
+
+def make_trace():
+    return KernelTrace(
+        [
+            KernelLaunch(name="conv1/fwd:main", kind=LaunchKind.GEMM,
+                         flops=1e9, ctas=500),
+            KernelLaunch(name="conv1/map/hash_query",
+                         kind=LaunchKind.MAPPING, scalar_ops=1e7, ctas=100),
+            KernelLaunch(name="conv2/fwd:main", kind=LaunchKind.GEMM,
+                         flops=5e8, ctas=300),
+        ]
+    )
+
+
+class TestReport:
+    def test_timeline_contains_all_launches(self):
+        text = timeline(make_trace(), "a100", "fp16")
+        assert "conv1/fwd:main" in text
+        assert "conv2/fwd:main" in text
+        assert "total" in text
+
+    def test_timeline_top_filters(self):
+        text = timeline(make_trace(), "a100", "fp16", top=1)
+        assert text.count("conv") == 1
+
+    def test_by_layer_groups_by_prefix(self):
+        grouped = by_layer(make_trace(), "a100", "fp16")
+        assert set(grouped) == {"conv1", "conv2"}
+        assert grouped["conv1"] > grouped["conv2"]
+
+    def test_layer_report_shares_sum_to_100(self):
+        text = layer_report(make_trace(), "a100", "fp16")
+        shares = [
+            float(line.split("|")[-1].strip().rstrip("%"))
+            for line in text.splitlines()[3:]
+        ]
+        assert sum(shares) == pytest.approx(100.0, abs=0.5)
+
+
+class TestCli:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "A100" in out and "Jetson" in out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        assert "SK-M-0.5" in capsys.readouterr().out
+
+    def test_engines(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "TorchSparse++" in out and "MinkowskiEngine" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_experiments_list(self, capsys):
+        from repro.experiments.__main__ import main as exp_main
+
+        assert exp_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig14_inference" in out
+        assert "tab05_split_space" in out
+
+    def test_experiments_unknown(self):
+        from repro.experiments.__main__ import main as exp_main
+
+        with pytest.raises(SystemExit):
+            exp_main(["fig99"])

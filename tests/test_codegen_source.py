@@ -1,0 +1,79 @@
+"""Tests for pseudo-CUDA source emission and generated-kernel structure."""
+
+import pytest
+
+from repro.codegen import SparseKernelGenerator
+from repro.codegen.source import emit_source, line_count
+from repro.codegen.templates import (
+    fetch_on_demand_template,
+    implicit_gemm_template,
+    wgrad_template,
+)
+from repro.kernels.base import KernelSchedule
+
+
+@pytest.fixture()
+def generator():
+    return SparseKernelGenerator()
+
+
+class TestEmission:
+    def test_loop_structure_rendered(self):
+        source = emit_source(
+            implicit_gemm_template(KernelSchedule()), "k"
+        )
+        assert source.count("for (") >= 4  # cta, k_outer, k_inner, ldA
+        assert "#pragma unroll" in source
+
+    def test_boundary_check_rendered_when_unpadded(self, generator):
+        unpadded = generator.generate(
+            "implicit_gemm", KernelSchedule(pad_maps=False)
+        )
+        padded = generator.generate(
+            "implicit_gemm", KernelSchedule(pad_maps=True)
+        )
+        assert "boundary check" in unpadded.source
+        assert "boundary check" not in padded.source
+
+    def test_double_buffer_annotation(self, generator):
+        buffered = generator.generate(
+            "implicit_gemm", KernelSchedule(double_buffer=True)
+        )
+        plain = generator.generate(
+            "implicit_gemm", KernelSchedule(double_buffer=False)
+        )
+        assert "double-buffered" in buffered.source
+        assert "double-buffered" not in plain.source
+
+    def test_color_annotations_present(self, generator):
+        kernel = generator.generate("implicit_gemm")
+        for tag in ("[gray]", "[red]", "[blue]"):
+            assert tag in kernel.source, tag
+
+    def test_line_count_ignores_blanks(self):
+        assert line_count("a\n\n b\n   \nc") == 3
+
+    def test_hoisted_source_moves_div_out_of_inner_loop(self, generator):
+        hoisted = generator.generate(
+            "implicit_gemm", KernelSchedule(hoist_invariants=True)
+        )
+        # The divide now appears before the innermost unrolled loop.
+        source = hoisted.source
+        div_at = source.index("k / C_in")
+        unroll_at = source.index("#pragma unroll")
+        assert div_at < unroll_at
+
+    def test_wgrad_template_emits_two_smem_operands(self):
+        source = emit_source(wgrad_template(KernelSchedule()), "wg")
+        assert source.count("smem_") >= 2
+
+    def test_fetch_on_demand_atomics(self):
+        source = emit_source(
+            fetch_on_demand_template(KernelSchedule()), "fod"
+        )
+        assert "atomicAdd" in source
+
+    def test_sources_are_stable_across_calls(self, generator):
+        a = generator.generate("implicit_gemm").source
+        b = generator.generate("implicit_gemm").source
+        assert a == b

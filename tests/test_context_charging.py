@@ -1,0 +1,118 @@
+"""Tests for the per-context charge-once accounting semantics."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.implicit_gemm import ImplicitGemmConfig
+from repro.kernels.registry import Dataflow
+from repro.nn import (
+    ExecutionContext,
+    FixedPolicy,
+    LayerConfig,
+    SparseConv3d,
+)
+from repro.sparse import SparseTensor
+
+
+def cloud(seed=0, n=200):
+    rng = np.random.default_rng(seed)
+    coords = np.unique(
+        np.concatenate(
+            [np.zeros((n, 1), np.int32),
+             rng.integers(0, 12, (n, 3)).astype(np.int32)],
+            axis=1,
+        ),
+        axis=0,
+    )
+    return SparseTensor(
+        coords, rng.standard_normal((len(coords), 4)).astype(np.float32)
+    )
+
+
+class TestChargeOnce:
+    def test_charge_once_returns_true_then_false(self):
+        ctx = ExecutionContext()
+        assert ctx.charge_once(("k",)) is True
+        assert ctx.charge_once(("k",)) is False
+        assert ctx.charge_once(("other",)) is True
+
+    def test_map_build_charged_once_per_context(self):
+        x = cloud()
+        conv1 = SparseConv3d(4, 8, 3)
+        conv2 = SparseConv3d(8, 8, 3)
+        ctx = ExecutionContext(simulate_only=True)
+        y = conv1(x, ctx)
+        conv2(y, ctx)
+        assert len(ctx.trace.filter_name("hash_build")) == 1
+
+    def test_fresh_context_recharges_cached_maps(self):
+        x = cloud()
+        conv = SparseConv3d(4, 8, 3)
+        ctx1 = ExecutionContext(simulate_only=True)
+        conv(x, ctx1)
+        # Maps are now cached Python-side; a new context must still pay.
+        ctx2 = ExecutionContext(simulate_only=True)
+        conv(x, ctx2)
+        assert len(ctx2.trace.filter_name("hash_build")) == 1
+        assert ctx2.latency_us() == pytest.approx(ctx1.latency_us(), rel=1e-9)
+
+    def test_sorting_charged_once_per_group(self):
+        x = cloud()
+        policy = FixedPolicy(
+            LayerConfig(ig_config=ImplicitGemmConfig(num_splits=1, sort=True))
+        )
+        conv1 = SparseConv3d(4, 8, 3)
+        conv2 = SparseConv3d(8, 8, 3)
+        ctx = ExecutionContext(simulate_only=True, policy=policy)
+        conv2(conv1(x, ctx), ctx)
+        assert len(ctx.trace.filter_name("mapping/argsort")) == 1
+
+    def test_different_configs_charge_separately(self):
+        x = cloud()
+        # Two convs in the same group but tuned to different split counts
+        # cannot share the reordered map.
+        conv1 = SparseConv3d(4, 8, 3)
+        conv2 = SparseConv3d(8, 8, 3)
+
+        class TwoConfigPolicy:
+            def config(self, signature, role=None):
+                return LayerConfig(
+                    ig_config=ImplicitGemmConfig(num_splits=1, sort=True)
+                )
+
+        ctx = ExecutionContext(simulate_only=True, policy=TwoConfigPolicy())
+        y = conv1(x, ctx)
+        before = len(ctx.trace.filter_name("mapping/argsort"))
+        ctx.policy = FixedPolicy(
+            LayerConfig(ig_config=ImplicitGemmConfig(num_splits=3, sort=True))
+        )
+        conv2(y, ctx)
+        assert len(ctx.trace.filter_name("mapping/argsort")) == before + 1
+
+    def test_structure_conversion_charged_for_foreign_order(self):
+        x = cloud()
+        fod = FixedPolicy(LayerConfig(dataflow=Dataflow.FETCH_ON_DEMAND))
+        conv = SparseConv3d(4, 8, 3)
+        ctx = ExecutionContext(simulate_only=True, policy=fod)
+        conv(x, ctx)
+        # Hash-built maps are output-stationary; fetch-on-demand needs the
+        # weight-stationary order -> one conversion pass.
+        assert len(ctx.trace.filter_name("restructure")) >= 1
+
+    def test_native_order_needs_no_conversion(self):
+        x = cloud()
+        ig = FixedPolicy(LayerConfig(dataflow=Dataflow.IMPLICIT_GEMM))
+        conv = SparseConv3d(4, 8, 3)
+        ctx = ExecutionContext(simulate_only=True, policy=ig)
+        conv(x, ctx)
+        assert len(ctx.trace.filter_name("restructure")) == 0
+
+    def test_backward_prep_shared_when_configs_match(self):
+        x = cloud()
+        conv = SparseConv3d(4, 8, 3)
+        conv.train()
+        ctx = ExecutionContext(simulate_only=True, training=True)
+        y = conv(x, ctx)
+        conv.backward(np.zeros(y.feats.shape, dtype=np.float16), ctx)
+        # dgrad and wgrad under the same config: no extra bwd_map prep.
+        assert len(ctx.trace.filter_name("bwd_map")) == 0

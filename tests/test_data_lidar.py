@@ -1,0 +1,119 @@
+"""Tests for the synthetic LiDAR scanner and dataset configurations."""
+
+import numpy as np
+import pytest
+
+from repro.data import DATASETS, LidarConfig, Scene, lidar_scan, make_sample
+from repro.data.datasets import make_batch
+from repro.data.lidar import LIDAR_32_BEAM, LIDAR_64_BEAM, Box, _ray_box_t
+from repro.errors import ConfigError
+
+
+class TestRayBox:
+    def test_direct_hit(self):
+        box = Box(center=np.array([10.0, 0.0, 1.0]), size=np.array([2.0, 2.0, 2.0]))
+        dirs = np.array([[1.0, 0.0, 0.0]])
+        t = _ray_box_t(np.zeros(3), dirs, box)
+        assert t[0] == pytest.approx(9.0)
+
+    def test_miss_is_inf(self):
+        box = Box(center=np.array([10.0, 10.0, 1.0]), size=np.array([1.0, 1.0, 1.0]))
+        dirs = np.array([[1.0, 0.0, 0.0]])
+        assert np.isinf(_ray_box_t(np.zeros(3), dirs, box))[0]
+
+    def test_behind_ray_is_inf(self):
+        box = Box(center=np.array([-10.0, 0.0, 0.0]), size=np.array([1.0, 1.0, 1.0]))
+        dirs = np.array([[1.0, 0.0, 0.0]])
+        assert np.isinf(_ray_box_t(np.zeros(3), dirs, box))[0]
+
+    def test_axis_parallel_ray_inside_slab(self):
+        box = Box(center=np.array([5.0, 0.0, 0.0]), size=np.array([2.0, 2.0, 2.0]))
+        dirs = np.array([[1.0, 0.0, 0.0]])  # zero y/z components
+        t = _ray_box_t(np.zeros(3), dirs, box)
+        assert t[0] == pytest.approx(4.0)
+
+
+class TestLidarScan:
+    def test_returns_points_with_intensity(self):
+        points = lidar_scan(LidarConfig(beams=16, azimuth_steps=128), seed=0)
+        assert points.shape[1] == 4
+        assert len(points) > 100
+
+    def test_respects_max_range(self):
+        config = LidarConfig(beams=16, azimuth_steps=128, max_range=30.0)
+        points = lidar_scan(config, seed=0)
+        ranges = np.linalg.norm(points[:, :2], axis=1)
+        assert ranges.max() < 31.0
+
+    def test_deterministic_per_seed(self):
+        scene = Scene.generate(seed=3)
+        a = lidar_scan(LidarConfig(beams=8, azimuth_steps=64), scene, seed=1)
+        b = lidar_scan(LidarConfig(beams=8, azimuth_steps=64), scene, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_ego_offset_shifts_origin(self):
+        scene = Scene.generate(seed=3)
+        a = lidar_scan(LidarConfig(beams=8, azimuth_steps=64), scene, seed=1)
+        b = lidar_scan(
+            LidarConfig(beams=8, azimuth_steps=64), scene, seed=1,
+            ego_offset=(5.0, 0.0),
+        )
+        assert not np.array_equal(a, b)
+
+    def test_64_beam_denser_than_32(self):
+        scene = Scene.generate(seed=0)
+        dense = lidar_scan(LIDAR_64_BEAM, scene, seed=1)
+        sparse = lidar_scan(LIDAR_32_BEAM, scene, seed=1)
+        assert len(dense) > 2 * len(sparse)
+
+    def test_ground_points_near_zero_height(self):
+        # Empty scene: every downward ray returns a ground point at z ~ 0.
+        empty = Scene(boxes=[])
+        points = lidar_scan(
+            LidarConfig(beams=32, azimuth_steps=256), empty, seed=4
+        )
+        assert len(points) > 0
+        assert np.abs(points[:, 2]).max() < 0.5
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            LidarConfig(beams=0)
+        with pytest.raises(ValueError):
+            LidarConfig(max_range=1.0, min_range=2.0)
+
+
+class TestDatasets:
+    def test_all_datasets_produce_samples(self):
+        for name, config in DATASETS.items():
+            sample = make_sample(name, seed=0)
+            assert sample.num_points > 1000, name
+            assert sample.num_channels == config.in_channels
+
+    def test_multiframe_densifies(self):
+        one = make_sample("nuscenes", frames=1, seed=0)
+        three = make_sample("nuscenes", frames=3, seed=0)
+        assert three.num_points > 1.5 * one.num_points
+
+    def test_waymo_has_five_channels(self):
+        assert make_sample("waymo", seed=0).num_channels == 5
+
+    def test_batch_indices(self):
+        batch = make_batch("nuscenes", batch_size=2, seed=0)
+        assert batch.batch_size == 2
+        assert set(np.unique(batch.coords[:, 0])) == {0, 1}
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigError):
+            make_sample("kitti360")
+
+    def test_invalid_frames(self):
+        with pytest.raises(ConfigError):
+            make_sample("waymo", frames=0)
+
+    def test_voxel_neighbour_statistics_realistic(self):
+        # Paper: points typically have 4-10 neighbours under Delta^3(3).
+        from repro.sparse.kmap import build_kernel_map
+
+        sample = make_sample("semantickitti", seed=0)
+        kmap = build_kernel_map(sample.coords[:20000], kernel_size=3)
+        assert 3.0 < kmap.mean_neighbors < 12.0

@@ -1,0 +1,165 @@
+"""Tests for the heterogeneous graph substrate and R-GCN workloads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    GRAPH_DATASETS,
+    GRAPH_ENGINES,
+    HeteroGraph,
+    RGCN,
+    RGCNLayer,
+    get_graph_engine,
+    make_graph,
+    measure_rgcn,
+)
+from repro.graph.engines import rgcn_layer_trace, rgcn_memory_bytes
+from repro.graph.rgcn import dense_reference_rgcn
+from repro.precision import Precision
+
+
+def toy_graph(seed=0, nodes=40, relations=3, edges_per_rel=60):
+    rng = np.random.default_rng(seed)
+    rels = [
+        rng.integers(0, nodes, size=(edges_per_rel, 2))
+        for _ in range(relations)
+    ]
+    return HeteroGraph(nodes, rels)
+
+
+class TestHeteroGraph:
+    def test_counts(self):
+        g = toy_graph()
+        assert g.num_nodes == 40
+        assert g.num_relations == 3
+        assert g.num_edges == 180
+
+    def test_in_degrees_sum_to_edges(self):
+        g = toy_graph()
+        assert g.in_degrees(0).sum() == 60
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            HeteroGraph(5, [np.array([[0, 7]])])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GraphError):
+            HeteroGraph(5, [np.array([1, 2, 3])])
+
+    def test_empty_relation_allowed(self):
+        g = HeteroGraph(5, [np.zeros((0, 2), dtype=np.int64)])
+        assert g.num_edges == 0
+
+
+class TestSyntheticDatasets:
+    def test_statistics_match_configs(self):
+        for name, cfg in GRAPH_DATASETS.items():
+            if cfg.num_nodes > 100_000:
+                continue  # large graphs covered by the benchmark
+            g = make_graph(name, seed=0)
+            assert g.num_nodes == cfg.num_nodes
+            assert g.num_relations == cfg.num_relations
+            assert abs(g.num_edges - cfg.num_edges) / cfg.num_edges < 0.05
+
+    def test_degree_skew(self):
+        g = make_graph("aifb", seed=0)
+        degrees = np.concatenate(
+            [np.bincount(e[:, 1], minlength=g.num_nodes)
+             for e in g.relations]
+        )
+        assert degrees.max() > 10 * max(1.0, degrees.mean())
+
+    def test_unknown_dataset(self):
+        with pytest.raises(GraphError):
+            make_graph("ogbn-products")
+
+    def test_deterministic(self):
+        a = make_graph("mutag", seed=1)
+        b = make_graph("mutag", seed=1)
+        assert all(
+            np.array_equal(x, y) for x, y in zip(a.relations, b.relations)
+        )
+
+
+class TestRGCNNumerics:
+    def test_layer_matches_dense_reference(self):
+        g = toy_graph(seed=3, nodes=25, relations=2, edges_per_rel=40)
+        layer = RGCNLayer.create(2, c_in=6, c_out=5, seed=1)
+        feats = np.random.default_rng(2).standard_normal((25, 6)).astype(
+            np.float32
+        )
+        out = layer.forward(g, feats, precision=Precision.FP32)
+        expected = dense_reference_rgcn(g, feats, layer)
+        np.testing.assert_allclose(out, expected, rtol=1e-4, atol=1e-5)
+
+    def test_two_layer_model_shapes(self):
+        g = toy_graph()
+        model = RGCN(num_relations=3, in_dim=8, hidden_dim=16, num_classes=4)
+        feats = np.zeros((40, 8), dtype=np.float32)
+        out = model.forward(g, feats)
+        assert out.shape == (40, 4)
+
+    def test_compute_false_skips_numerics(self):
+        g = toy_graph()
+        layer = RGCNLayer.create(3, 8, 4)
+        out = layer.forward(
+            g, np.ones((40, 8), dtype=np.float32), compute=False
+        )
+        assert not out.any()
+
+    def test_relation_mismatch_raises(self):
+        g = toy_graph(relations=3)
+        layer = RGCNLayer.create(2, 8, 4)
+        with pytest.raises(GraphError):
+            layer.forward(g, np.zeros((40, 8), dtype=np.float32))
+
+
+class TestGraphEngines:
+    def test_engine_lookup(self):
+        assert get_graph_engine("dgl").name == "DGL"
+        assert get_graph_engine("TorchSparse++").name == "TorchSparse++"
+        with pytest.raises(GraphError):
+            get_graph_engine("tensorflow-gnn")
+
+    def test_torchsparsepp_fastest_and_smallest(self):
+        g = make_graph("aifb", seed=0)
+        results = {
+            name: measure_rgcn(name, g, "aifb")
+            for name in GRAPH_ENGINES
+        }
+        ts = results["torchsparse++"]
+        for name, m in results.items():
+            if name == "torchsparse++":
+                continue
+            assert m.latency_ms > ts.latency_ms, name
+            assert m.memory_mb > ts.memory_mb, name
+
+    def test_dgl_slowest(self):
+        g = make_graph("mutag", seed=0)
+        dgl = measure_rgcn("dgl", g).latency_ms
+        others = [
+            measure_rgcn(n, g).latency_ms
+            for n in ("pyg", "graphiler", "torchsparse++")
+        ]
+        assert dgl > max(others)
+
+    def test_per_relation_pipeline_has_more_launches(self):
+        g = make_graph("aifb", seed=0)
+        dgl_trace = rgcn_layer_trace(
+            get_graph_engine("dgl"), g, 32, 32, Precision.FP16
+        )
+        ts_trace = rgcn_layer_trace(
+            get_graph_engine("torchsparse++"), g, 32, 32, Precision.FP16
+        )
+        assert len(dgl_trace) > 10 * len(ts_trace)
+
+    def test_memory_accounts_edge_workspace(self):
+        g = make_graph("mutag", seed=0)
+        dgl = rgcn_memory_bytes(
+            get_graph_engine("dgl"), g, 32, 32, Precision.FP16
+        )
+        ts = rgcn_memory_bytes(
+            get_graph_engine("torchsparse++"), g, 32, 32, Precision.FP16
+        )
+        assert dgl > 2 * ts

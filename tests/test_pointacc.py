@@ -1,0 +1,56 @@
+"""Tests for the PointAcc systolic-array model (Table 2 substrate)."""
+
+import pytest
+
+from repro.hw import POINTACC, POINTACC_L, PointAccSpec
+
+
+class TestPointAccSpec:
+    def test_peak_performance_matches_table2(self):
+        # Table 2: PointAcc 4096 MACs -> 4 TMACS; PointAcc-L 16384 -> 16.
+        assert POINTACC.macs == 4096
+        assert POINTACC.peak_tmacs == pytest.approx(4.0, rel=0.05)
+        assert POINTACC_L.macs == 16384
+        assert POINTACC_L.peak_tmacs == pytest.approx(16.0, rel=0.05)
+
+    def test_gemm_cycles_scale_with_work(self):
+        small = POINTACC_L.gemm_cycles(1000, 64, 64)
+        big = POINTACC_L.gemm_cycles(2000, 64, 64)
+        assert big > 1.5 * small
+
+    def test_gemm_cycles_tile_quantization(self):
+        # K or N below the array dimension wastes the array.
+        narrow = POINTACC_L.gemm_cycles(1000, 16, 16)
+        wide = POINTACC_L.gemm_cycles(1000, 128, 128)
+        # Wide does 64x the MACs in only ~1x the cycles (IC-OC parallelism).
+        assert wide < 2 * narrow
+
+    def test_zero_work_is_free(self):
+        assert POINTACC_L.gemm_cycles(0, 64, 64) == 0.0
+
+    def test_larger_array_faster_on_big_layers(self):
+        layer = dict(
+            map_sizes=[50_000] * 27, c_in=128, c_out=128,
+            num_inputs=100_000, num_outputs=100_000,
+        )
+        assert POINTACC_L.layer_latency_ms(**layer) < POINTACC.layer_latency_ms(
+            **layer
+        )
+
+    def test_mapping_cost_skipped_on_reuse(self):
+        layer = dict(
+            map_sizes=[10_000] * 27, c_in=64, c_out=64,
+            num_inputs=50_000, num_outputs=50_000,
+        )
+        fresh = POINTACC_L.layer_latency_ms(**layer, build_map=True)
+        reused = POINTACC_L.layer_latency_ms(**layer, build_map=False)
+        assert fresh > reused
+
+    def test_network_latency_sums_layers(self):
+        layer = dict(
+            map_sizes=[1000] * 27, c_in=32, c_out=32,
+            num_inputs=5000, num_outputs=5000,
+        )
+        one = POINTACC_L.network_latency_ms([layer])
+        three = POINTACC_L.network_latency_ms([layer] * 3)
+        assert three == pytest.approx(3 * one)

@@ -1,0 +1,72 @@
+"""Tests for the GPU-style coordinate hash table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MapError
+from repro.sparse.hashmap import CoordinateHashMap
+
+
+class TestCoordinateHashMap:
+    def test_query_hits(self):
+        keys = np.array([10, 20, 30, 40], dtype=np.int64)
+        table = CoordinateHashMap(keys)
+        assert np.array_equal(table.query(keys), np.arange(4, dtype=np.int32))
+
+    def test_query_misses_return_minus_one(self):
+        table = CoordinateHashMap(np.array([1, 2, 3], dtype=np.int64))
+        result = table.query(np.array([99, 2, -7], dtype=np.int64))
+        assert result[0] == -1
+        assert result[1] == 1
+        assert result[2] == -1
+
+    def test_len_matches_inserted(self):
+        keys = np.arange(100, dtype=np.int64)
+        assert len(CoordinateHashMap(keys)) == 100
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(MapError):
+            CoordinateHashMap(np.array([5, 5], dtype=np.int64))
+
+    def test_empty_table(self):
+        table = CoordinateHashMap(np.array([], dtype=np.int64))
+        assert len(table) == 0
+        assert np.array_equal(
+            table.query(np.array([1, 2], dtype=np.int64)),
+            np.array([-1, -1], dtype=np.int32),
+        )
+
+    def test_adversarial_collisions(self):
+        # Keys spaced by the table capacity would collide under a modulo
+        # hash; Fibonacci mixing must still resolve all of them.
+        keys = (np.arange(64, dtype=np.int64) * 4096) + 7
+        table = CoordinateHashMap(keys)
+        assert np.array_equal(table.query(keys), np.arange(64, dtype=np.int32))
+
+    def test_probe_statistics_recorded(self):
+        keys = np.arange(1000, dtype=np.int64)
+        table = CoordinateHashMap(keys)
+        table.query(keys)
+        assert table.stats.inserts == 1000
+        assert table.stats.queries == 1000
+        assert table.stats.query_probes >= 1000
+        assert table.stats.insert_probes >= 1000
+
+    def test_negative_keys(self):
+        keys = np.array([-1, -100, -(2**40)], dtype=np.int64)
+        table = CoordinateHashMap(keys)
+        assert np.array_equal(table.query(keys), np.arange(3, dtype=np.int32))
+
+    @given(st.sets(st.integers(-(2**50), 2**50), min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_property_all_inserted_found_all_others_missed(self, key_set):
+        keys = np.array(sorted(key_set), dtype=np.int64)
+        table = CoordinateHashMap(keys)
+        assert np.array_equal(table.query(keys), np.arange(len(keys)))
+        probes = keys + 1  # shifted keys: hit only where key+1 also present
+        expected = np.array(
+            [list(keys).index(k) if k in key_set else -1 for k in probes]
+        )
+        assert np.array_equal(table.query(probes), expected)

@@ -1,0 +1,168 @@
+"""Tests for kernel-map construction (submanifold, strided, transposed)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MapError
+from repro.sparse.kmap import KernelMap, MapKey, build_kernel_map, downsample_coords
+from repro.sparse.hashmap import HashMapStats
+
+
+def line_coords():
+    """Three collinear points: [0], [1], [2] on a 1-D grid (D=1)."""
+    return np.array([[0, 0], [0, 1], [0, 2]], dtype=np.int32)
+
+
+def figure2_coords():
+    """The 8-point 2-D example used throughout the paper (Figure 2-ish).
+
+    A small irregular 2-D pattern exercising partial neighbourhoods.
+    """
+    pts = [(0, 0), (0, 2), (1, 1), (2, 0), (2, 3), (3, 1), (3, 3), (4, 2)]
+    return np.array([[0, x, y] for x, y in pts], dtype=np.int32)
+
+
+class TestSubmanifoldMap:
+    def test_output_coords_equal_input(self):
+        coords = figure2_coords()
+        kmap = build_kernel_map(coords, kernel_size=3)
+        assert np.array_equal(kmap.out_coords, coords)
+        assert kmap.num_inputs == kmap.num_outputs == 8
+
+    def test_identity_offset_maps_self(self):
+        coords = figure2_coords()
+        kmap = build_kernel_map(coords, kernel_size=3)
+        centre = 4  # identity offset index for K=3, D=2
+        assert np.array_equal(kmap.nbmap[:, centre], np.arange(8))
+
+    def test_line_neighbours(self):
+        kmap = build_kernel_map(line_coords(), kernel_size=3)
+        # offsets for K=3, D=1 are [-1, 0, 1]
+        assert np.array_equal(kmap.nbmap[0], [-1, 0, 1])
+        assert np.array_equal(kmap.nbmap[1], [0, 1, 2])
+        assert np.array_equal(kmap.nbmap[2], [1, 2, -1])
+
+    def test_map_sizes_and_pairs_consistent(self):
+        kmap = build_kernel_map(figure2_coords(), kernel_size=3)
+        assert kmap.total_pairs == kmap.map_sizes.sum()
+        for k, (in_idx, out_idx) in enumerate(kmap.pairs()):
+            assert len(in_idx) == kmap.map_sizes[k]
+            assert np.array_equal(kmap.nbmap[out_idx, k], in_idx)
+
+    def test_pairs_match_coordinate_arithmetic(self):
+        coords = figure2_coords()
+        kmap = build_kernel_map(coords, kernel_size=3)
+        for k, (in_idx, out_idx) in enumerate(kmap.pairs()):
+            delta = kmap.offsets[k]
+            for p, q in zip(in_idx, out_idx):
+                assert np.array_equal(coords[p, 1:], coords[q, 1:] + delta)
+
+    def test_mean_neighbors(self):
+        kmap = build_kernel_map(figure2_coords(), kernel_size=3)
+        assert kmap.mean_neighbors == kmap.total_pairs / 8
+
+    def test_batch_isolation(self):
+        # Identical spatial coords in different batches must not connect.
+        coords = np.array([[0, 0, 0], [1, 0, 1]], dtype=np.int32)
+        kmap = build_kernel_map(coords, kernel_size=3)
+        assert kmap.total_pairs == 2  # only the two identity pairs
+
+
+class TestStridedMap:
+    def test_downsample_coords_coarsens(self):
+        coords = figure2_coords()
+        out = downsample_coords(coords, stride=(2, 2), tensor_stride=(1, 1))
+        assert np.all(out[:, 1:] % 2 == 0)
+        assert len(out) <= len(coords)
+
+    def test_strided_map_output_count(self):
+        coords = figure2_coords()
+        kmap = build_kernel_map(coords, kernel_size=2, stride=2)
+        # Every input must appear in exactly one output cell for K=2/s=2.
+        assert kmap.total_pairs == len(coords)
+
+    def test_every_input_covered_k2s2(self):
+        coords = figure2_coords()
+        kmap = build_kernel_map(coords, kernel_size=2, stride=2)
+        seen = np.sort(np.concatenate([p for p, _ in kmap.pairs()]))
+        assert np.array_equal(seen, np.arange(len(coords)))
+
+    def test_tensor_stride_dilates_offsets(self):
+        # Points at stride-2 positions: neighbours are +-2, not +-1.
+        coords = np.array([[0, 0], [0, 2], [0, 4]], dtype=np.int32)
+        kmap = build_kernel_map(coords, kernel_size=3, tensor_stride=2)
+        assert np.array_equal(kmap.nbmap[1], [0, 1, 2])
+
+    def test_k3_s2_reaches_adjacent_cells(self):
+        coords = np.array([[0, 1], [0, 2]], dtype=np.int32)
+        kmap = build_kernel_map(coords, kernel_size=3, stride=2)
+        # Output cells are 0 and 2; cell 2's offset -1 reaches input at 1.
+        assert kmap.total_pairs >= 3
+
+
+class TestTransposedMap:
+    def test_transposed_swaps_counts(self):
+        kmap = build_kernel_map(figure2_coords(), kernel_size=2, stride=2)
+        t = kmap.transposed()
+        assert t.num_inputs == kmap.num_outputs
+        assert t.num_outputs == kmap.num_inputs
+        assert t.total_pairs == kmap.total_pairs
+
+    def test_transposed_pairs_are_swapped(self):
+        kmap = build_kernel_map(figure2_coords(), kernel_size=3)
+        t = kmap.transposed()
+        for (a_in, a_out), (b_in, b_out) in zip(kmap.pairs(), t.pairs()):
+            assert sorted(zip(a_in, a_out)) == sorted(zip(b_out, b_in))
+
+    def test_double_transpose_roundtrip(self):
+        kmap = build_kernel_map(figure2_coords(), kernel_size=3)
+        tt = kmap.transposed().transposed()
+        assert np.array_equal(tt.nbmap, kmap.nbmap)
+
+    def test_transposed_key_flag(self):
+        kmap = build_kernel_map(figure2_coords(), kernel_size=3)
+        assert kmap.key.transposed is False
+        assert kmap.transposed().key.transposed is True
+
+
+class TestPadding:
+    def test_padded_rows_multiple_of_cta(self):
+        kmap = build_kernel_map(figure2_coords(), kernel_size=3)
+        padded = kmap.padded_nbmap(16)
+        assert padded.shape[0] == 16
+        assert np.all(padded[8:] == -1)
+        assert np.array_equal(padded[:8], kmap.nbmap)
+
+    def test_no_padding_when_aligned(self):
+        kmap = build_kernel_map(figure2_coords(), kernel_size=3)
+        assert kmap.padded_nbmap(4).shape[0] == 8
+        assert kmap.padded_nbmap(8) is kmap.nbmap
+
+    def test_invalid_cta(self):
+        kmap = build_kernel_map(figure2_coords(), kernel_size=3)
+        with pytest.raises(ValueError):
+            kmap.padded_nbmap(0)
+
+
+class TestValidation:
+    def test_nbmap_out_of_range_rejected(self):
+        with pytest.raises(MapError):
+            KernelMap(
+                nbmap=np.array([[5]], dtype=np.int32),
+                offsets=np.zeros((1, 2), dtype=np.int32),
+                num_inputs=2,
+                out_coords=np.zeros((1, 3), dtype=np.int32),
+                build_stats=HashMapStats(),
+                key=MapKey((1,), (1,), (1,)),
+            )
+
+    def test_mismatched_offsets_rejected(self):
+        with pytest.raises(MapError):
+            KernelMap(
+                nbmap=np.zeros((2, 3), dtype=np.int32),
+                offsets=np.zeros((2, 2), dtype=np.int32),
+                num_inputs=4,
+                out_coords=np.zeros((2, 3), dtype=np.int32),
+                build_stats=HashMapStats(),
+                key=MapKey((1,), (1,), (1,)),
+            )

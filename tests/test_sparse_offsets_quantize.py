@@ -1,0 +1,106 @@
+"""Tests for kernel offset generation and point-cloud quantization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.sparse.kernel_offsets import (
+    identity_offset_index,
+    kernel_offsets,
+    kernel_volume,
+    normalize_kernel_size,
+)
+from repro.sparse.quantize import sparse_quantize
+
+
+class TestKernelOffsets:
+    def test_delta_3_of_3_volume(self):
+        offsets = kernel_offsets(3, ndim=3)
+        assert offsets.shape == (27, 3)
+        assert kernel_volume(3, 3) == 27
+
+    def test_delta_2_of_5_matches_paper(self):
+        # Delta^2(5) = {-2,...,2}^2 from Section 2.1.
+        offsets = kernel_offsets(5, ndim=2)
+        assert offsets.min() == -2 and offsets.max() == 2
+        assert offsets.shape == (25, 2)
+
+    def test_even_kernel_forward_convention(self):
+        offsets = kernel_offsets(2, ndim=3)
+        assert offsets.min() == 0 and offsets.max() == 1
+        assert offsets.shape == (8, 3)
+
+    def test_anisotropic_kernel(self):
+        offsets = kernel_offsets((3, 1, 3), ndim=3)
+        assert offsets.shape == (9, 3)
+        assert np.all(offsets[:, 1] == 0)
+
+    def test_offsets_are_unique(self):
+        offsets = kernel_offsets(3, ndim=3)
+        assert len({tuple(o) for o in offsets}) == 27
+
+    def test_last_dimension_fastest(self):
+        offsets = kernel_offsets(3, ndim=2)
+        assert np.array_equal(offsets[0], [-1, -1])
+        assert np.array_equal(offsets[1], [-1, 0])
+
+    def test_identity_offset_index(self):
+        assert identity_offset_index(3, 3) == 13  # centre of 27
+        assert identity_offset_index(2, 3) == 0  # (0,0,0) is first
+        assert identity_offset_index((3, 2, 3), 3) >= 0
+
+    def test_invalid_kernel_size(self):
+        with pytest.raises(ConfigError):
+            kernel_offsets(0, ndim=3)
+        with pytest.raises(ConfigError):
+            normalize_kernel_size((3, 3), ndim=3)
+
+
+class TestSparseQuantize:
+    def test_basic_quantization(self):
+        points = np.array([[0.05, 0.07, 0.01], [0.24, 0.11, 0.33]])
+        coords, _ = sparse_quantize(points, voxel_size=0.1)
+        assert np.array_equal(
+            coords, np.array([[0, 0, 0, 0], [0, 2, 1, 3]], dtype=np.int32)
+        )
+
+    def test_deduplication(self):
+        points = np.array([[0.01, 0.01, 0.01], [0.02, 0.02, 0.02]])
+        coords, _ = sparse_quantize(points, voxel_size=0.1)
+        assert len(coords) == 1
+
+    def test_first_reduce_keeps_first_feature(self):
+        points = np.array([[0.01, 0.01, 0.01], [0.02, 0.02, 0.02]])
+        feats = np.array([[1.0], [2.0]])
+        _, reduced = sparse_quantize(points, 0.1, features=feats, reduce="first")
+        assert reduced[0, 0] == 1.0
+
+    def test_mean_reduce_averages(self):
+        points = np.array([[0.01, 0.01, 0.01], [0.02, 0.02, 0.02]])
+        feats = np.array([[1.0], [3.0]])
+        _, reduced = sparse_quantize(points, 0.1, features=feats, reduce="mean")
+        assert reduced[0, 0] == pytest.approx(2.0)
+
+    def test_negative_points_floor(self):
+        points = np.array([[-0.05, 0.0, 0.0]])
+        coords, _ = sparse_quantize(points, 0.1)
+        assert coords[0, 1] == -1  # floor, not truncation
+
+    def test_batch_index_written(self):
+        coords, _ = sparse_quantize(np.zeros((3, 3)), 0.1, batch_index=5)
+        assert np.all(coords[:, 0] == 5)
+
+    def test_per_dimension_voxel_size(self):
+        points = np.array([[1.0, 1.0, 1.0]])
+        coords, _ = sparse_quantize(points, voxel_size=(0.5, 1.0, 2.0))
+        assert np.array_equal(coords[0, 1:], [2, 1, 0])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ShapeError):
+            sparse_quantize(np.zeros(3), 0.1)
+        with pytest.raises(ValueError):
+            sparse_quantize(np.zeros((3, 3)), -1.0)
+        with pytest.raises(ValueError):
+            sparse_quantize(np.zeros((3, 3)), 0.1, reduce="max")
+        with pytest.raises(ShapeError):
+            sparse_quantize(np.zeros((3, 3)), 0.1, features=np.zeros((2, 1)))

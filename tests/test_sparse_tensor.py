@@ -1,0 +1,124 @@
+"""Tests for SparseTensor, batching and the map cache."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import SparseTensor
+from repro.sparse.tensor import MapCache, batch_sparse_tensors
+
+
+def tensor(n=20, channels=3, seed=0, stride=1):
+    rng = np.random.default_rng(seed)
+    coords = np.unique(
+        np.concatenate(
+            [np.zeros((n, 1), np.int32),
+             rng.integers(0, 8, (n, 3)).astype(np.int32) * stride],
+            axis=1,
+        ),
+        axis=0,
+    )
+    feats = rng.standard_normal((len(coords), channels)).astype(np.float32)
+    return SparseTensor(coords, feats, stride=stride)
+
+
+class TestSparseTensor:
+    def test_basic_properties(self):
+        t = tensor()
+        assert t.ndim == 3
+        assert t.batch_size == 1
+        assert t.num_channels == 3
+        assert t.stride == (1, 1, 1)
+
+    def test_with_feats_shares_cache(self):
+        t = tensor()
+        u = t.with_feats(t.feats * 2)
+        assert u.cache is t.cache
+        assert np.array_equal(u.coords, t.coords)
+
+    def test_dense_roundtrip(self):
+        t = tensor()
+        dense = t.dense()
+        assert dense.shape[0] == 1
+        assert dense.shape[-1] == 3
+        # Every point's features appear at its (shifted) location.
+        mins = t.coords[:, 1:].min(axis=0)
+        for i in range(t.num_points):
+            b, x, y, z = t.coords[i]
+            np.testing.assert_array_equal(
+                dense[b, x - mins[0], y - mins[1], z - mins[2]], t.feats[i]
+            )
+
+    def test_dense_empty_raises(self):
+        t = SparseTensor(
+            np.zeros((0, 4), np.int32), np.zeros((0, 2), np.float32)
+        )
+        with pytest.raises(ShapeError):
+            t.dense()
+        assert t.batch_size == 0
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            SparseTensor(np.zeros((2, 4), np.int32), np.zeros((3, 2), np.float32))
+        with pytest.raises(ShapeError):
+            SparseTensor(np.zeros((2, 4), np.int32), np.zeros((2, 2), np.int32))
+        with pytest.raises(ShapeError):
+            SparseTensor(np.zeros((2, 4), np.int32), np.zeros((2, 2), np.float32),
+                         stride=(1, 1))
+
+    def test_int_stride_broadcast(self):
+        t = tensor(stride=2)
+        assert t.stride == (2, 2, 2)
+
+
+class TestBatching:
+    def test_batch_assigns_indices(self):
+        batch = batch_sparse_tensors([tensor(seed=0), tensor(seed=1)])
+        assert batch.batch_size == 2
+
+    def test_batch_preserves_counts(self):
+        a, b = tensor(seed=0), tensor(seed=1)
+        batch = batch_sparse_tensors([a, b])
+        assert batch.num_points == a.num_points + b.num_points
+
+    def test_batch_requires_same_stride(self):
+        with pytest.raises(ShapeError):
+            batch_sparse_tensors([tensor(stride=1), tensor(stride=2)])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ShapeError):
+            batch_sparse_tensors([])
+
+    def test_batched_convolution_isolates_samples(self):
+        # A convolution on the batch must equal per-sample convolutions.
+        from repro.nn import ExecutionContext, SparseConv3d
+
+        a, b = tensor(seed=0), tensor(seed=1)
+        batch = batch_sparse_tensors([a, b])
+        conv = SparseConv3d(3, 5, 3, seed=3)
+        out_batch = conv(batch, ExecutionContext(precision="fp32"))
+        out_a = conv(a, ExecutionContext(precision="fp32"))
+        out_b = conv(b, ExecutionContext(precision="fp32"))
+        np.testing.assert_allclose(
+            out_batch.feats,
+            np.concatenate([out_a.feats, out_b.feats]),
+            rtol=1e-5,
+        )
+
+
+class TestMapCache:
+    def test_hit_miss_accounting(self):
+        cache = MapCache()
+        assert cache.get("k") is None
+        cache.put("k", "value")
+        assert cache.get("k") == "value"
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert len(cache) == 1
+
+    def test_clear(self):
+        cache = MapCache()
+        cache.put("k", "v")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("k") is None

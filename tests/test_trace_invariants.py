@@ -1,0 +1,134 @@
+"""Property-based tests on trace invariants across dataflows and configs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.trace import LaunchKind
+from repro.kernels import (
+    ImplicitGemmConfig,
+    fetch_on_demand_trace,
+    gather_gemm_scatter_trace,
+    implicit_gemm_trace,
+    wgrad_trace,
+)
+from repro.precision import Precision
+from repro.sparse.kmap import build_kernel_map
+
+
+def random_kmap(seed: int, n=120, extent=10):
+    rng = np.random.default_rng(seed)
+    coords = np.unique(
+        np.concatenate(
+            [np.zeros((n, 1), np.int32),
+             rng.integers(0, extent, (n, 3)).astype(np.int32)],
+            axis=1,
+        ),
+        axis=0,
+    )
+    return build_kernel_map(coords, kernel_size=3)
+
+
+@pytest.fixture(scope="module")
+def kmap():
+    return random_kmap(0, n=400, extent=14)
+
+
+class TestImplicitGemmInvariants:
+    def test_main_flops_cover_effective_work(self, kmap):
+        trace = implicit_gemm_trace(
+            kmap, 16, 16, config=ImplicitGemmConfig(sort=False)
+        )
+        main = trace.filter_name("main").launches[0]
+        assert main.flops >= 2 * kmap.total_pairs * 16 * 16
+
+    def test_sorting_never_increases_main_flops(self, kmap):
+        unsorted = implicit_gemm_trace(
+            kmap, 16, 16, config=ImplicitGemmConfig(sort=False)
+        ).filter_name("main").summary().flops
+        sorted_ = implicit_gemm_trace(
+            kmap, 16, 16, config=ImplicitGemmConfig(sort=True)
+        ).filter_name("main").summary().flops
+        assert sorted_ <= unsorted
+
+    @given(splits=st.integers(1, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_more_splits_never_increase_main_flops(self, splits):
+        kmap = random_kmap(3)
+        base = implicit_gemm_trace(
+            kmap, 8, 8, config=ImplicitGemmConfig(num_splits=1)
+        ).filter_name("main").summary().flops
+        split = implicit_gemm_trace(
+            kmap, 8, 8, config=ImplicitGemmConfig(num_splits=splits)
+        ).filter_name("main").summary().flops
+        assert split <= base + 1e-6
+
+    def test_splits_multiply_partial_writes(self, kmap):
+        one = implicit_gemm_trace(
+            kmap, 16, 16, config=ImplicitGemmConfig(num_splits=1)
+        ).filter_name("main").summary().dram_write_bytes
+        three = implicit_gemm_trace(
+            kmap, 16, 16, config=ImplicitGemmConfig(num_splits=3)
+        ).filter_name("main").summary().dram_write_bytes
+        assert three > 2 * one
+
+    def test_charge_mapping_flag(self, kmap):
+        charged = implicit_gemm_trace(kmap, 8, 8, charge_mapping=True)
+        uncharged = implicit_gemm_trace(kmap, 8, 8, charge_mapping=False)
+        assert len(charged.filter(LaunchKind.MAPPING)) == 3
+        assert len(uncharged.filter(LaunchKind.MAPPING)) == 0
+
+    def test_flops_scale_with_channels(self, kmap):
+        small = implicit_gemm_trace(kmap, 8, 8).summary().flops
+        large = implicit_gemm_trace(kmap, 16, 16).summary().flops
+        assert large == pytest.approx(4 * small, rel=0.01)
+
+
+class TestCrossDataflowInvariants:
+    def test_fod_atomic_traffic_formula(self, kmap):
+        trace = fetch_on_demand_trace(kmap, 8, 24)
+        fused = trace.filter_name("fused").launches[0]
+        assert fused.atomic_write_bytes == pytest.approx(
+            4.0 * kmap.total_pairs * 24
+        )
+
+    def test_gather_scatter_launch_count(self, kmap):
+        nonempty = int(np.count_nonzero(kmap.map_sizes))
+        plain = gather_gemm_scatter_trace(kmap, 8, 8, fused=False)
+        assert len(plain) == 3 * nonempty + 1
+
+    def test_all_dataflows_same_effective_flops_order(self, kmap):
+        # Weight-stationary dataflows perform exactly the effective work;
+        # implicit GEMM issues at least that much.
+        effective = 2.0 * kmap.total_pairs * 8 * 8
+        gs = gather_gemm_scatter_trace(kmap, 8, 8).summary().flops
+        fod = fetch_on_demand_trace(kmap, 8, 8).summary().flops
+        ig = implicit_gemm_trace(
+            kmap, 8, 8, config=ImplicitGemmConfig(sort=False),
+            charge_mapping=False,
+        ).summary().flops
+        assert fod == pytest.approx(effective)
+        assert gs >= effective  # M-padding of per-offset GEMMs
+        assert ig >= effective
+
+    def test_wgrad_flops_match_forward_effective(self, kmap):
+        trace = wgrad_trace(kmap, 8, 24)
+        assert trace.summary().flops == pytest.approx(
+            2.0 * kmap.total_pairs * 8 * 24
+        )
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_property_traces_are_finite_and_positive(self, seed):
+        kmap = random_kmap(seed, n=60, extent=6)
+        for trace in (
+            gather_gemm_scatter_trace(kmap, 4, 4),
+            fetch_on_demand_trace(kmap, 4, 4),
+            implicit_gemm_trace(kmap, 4, 4),
+            wgrad_trace(kmap, 4, 4),
+        ):
+            s = trace.summary()
+            assert np.isfinite(s.flops) and s.flops >= 0
+            assert np.isfinite(s.dram_bytes) and s.dram_bytes > 0
+            assert s.launches >= 1

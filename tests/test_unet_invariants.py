@@ -1,0 +1,99 @@
+"""Property-based tests on U-Net structural invariants.
+
+The decoder of a sparse U-Net must return to exactly the encoder's
+coordinate systems (the property that makes skip connections an aligned
+elementwise op and lets inverse convolutions reuse encoder maps).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import ExecutionContext, SparseConv3d
+from repro.sparse import SparseTensor
+from repro.sparse.kmap import build_kernel_map
+
+
+def cloud(seed, n=80, extent=16):
+    rng = np.random.default_rng(seed)
+    coords = np.unique(
+        np.concatenate(
+            [np.zeros((n, 1), np.int32),
+             rng.integers(0, extent, (n, 3)).astype(np.int32)],
+            axis=1,
+        ),
+        axis=0,
+    )
+    return SparseTensor(
+        coords, rng.standard_normal((len(coords), 2)).astype(np.float32)
+    )
+
+
+class TestUNetCoordinateInvariants:
+    @given(seed=st.integers(0, 200), depth=st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_down_up_chain_returns_to_input_coords(self, seed, depth):
+        x = cloud(seed)
+        ctx = ExecutionContext(simulate_only=True)
+        downs = [
+            SparseConv3d(2, 2, kernel_size=2, stride=2, seed=i)
+            for i in range(depth)
+        ]
+        ups = [
+            SparseConv3d(2, 2, kernel_size=2, stride=2, transposed=True,
+                         seed=10 + i)
+            for i in range(depth)
+        ]
+        tensors = [x]
+        for down in downs:
+            tensors.append(down(tensors[-1], ctx))
+        y = tensors[-1]
+        for up, reference in zip(reversed(ups), reversed(tensors[:-1])):
+            y = up(y, ctx)
+            assert np.array_equal(y.coords, reference.coords)
+            assert y.stride == reference.stride
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_downsample_halves_resolution(self, seed):
+        x = cloud(seed)
+        kmap = build_kernel_map(x.coords, kernel_size=2, stride=2)
+        assert np.all(kmap.out_coords[:, 1:] % 2 == 0)
+        # Every output cell contains at least one input.
+        assert np.all(kmap.map_sizes.sum() == len(x.coords))
+        assert kmap.num_outputs <= kmap.num_inputs
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_submanifold_identity_column_everywhere(self, seed):
+        x = cloud(seed)
+        kmap = build_kernel_map(x.coords, kernel_size=3)
+        centre = kmap.volume // 2
+        assert np.array_equal(
+            kmap.nbmap[:, centre], np.arange(kmap.num_outputs)
+        )
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_transposed_conv_is_adjoint(self, seed):
+        """<conv(x), y> == <x, conv_T(y)> with shared weights — the linear-
+        algebra identity dgrad correctness rests on."""
+        x = cloud(seed, n=50, extent=8)
+        down = SparseConv3d(2, 3, kernel_size=2, stride=2, seed=1)
+        ctx = ExecutionContext(precision="fp32")
+        y = down(x, ctx)
+        rng = np.random.default_rng(seed + 1)
+        cotangent = rng.standard_normal(y.feats.shape).astype(np.float32)
+
+        # <conv(x), v>
+        lhs = float((y.feats * cotangent).sum())
+
+        # <x, conv_T(v)> via the transposed map with W^T.
+        up = SparseConv3d(3, 2, kernel_size=2, stride=2, transposed=True)
+        up.weight.data = np.ascontiguousarray(
+            down.weight.data.transpose(0, 2, 1)
+        )
+        pulled = up(y.with_feats(cotangent), ctx)
+        rhs = float((x.feats * pulled.feats).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-3, abs=1e-3)

@@ -1,0 +1,104 @@
+"""Tests for utilities (formatting, RNG, validation) and precision."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.precision import Precision, cast_features
+from repro.utils import (
+    as_rng,
+    check_2d,
+    check_dtype_floating,
+    check_positive,
+    check_same_length,
+    format_si,
+    format_table,
+    geomean,
+)
+
+
+class TestPrecision:
+    def test_parse_strings(self):
+        assert Precision.parse("fp16") is Precision.FP16
+        assert Precision.parse("FP32") is Precision.FP32
+        assert Precision.parse("tf32") is Precision.TF32
+
+    def test_parse_passthrough(self):
+        assert Precision.parse(Precision.FP16) is Precision.FP16
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError):
+            Precision.parse("int8")
+
+    def test_dtypes_and_sizes(self):
+        assert Precision.FP16.dtype == np.float16
+        assert Precision.FP16.itemsize == 2
+        assert Precision.TF32.dtype == np.float32
+        assert Precision.FP32.itemsize == 4
+
+    def test_accumulator_always_fp32(self):
+        for p in Precision:
+            assert p.accumulator_dtype == np.float32
+
+    def test_cast_features(self):
+        x = np.ones((3, 3), dtype=np.float64)
+        assert cast_features(x, Precision.FP16).dtype == np.float16
+
+
+class TestFormatting:
+    def test_format_si(self):
+        assert format_si(2.5e9) == "2.50G"
+        assert format_si(1500, "B") == "1.50KB"
+        assert format_si(3.2) == "3.20"
+        assert format_si(1e13, digits=1) == "10.0T"
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, -1.0])
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_geomean_bounded_by_min_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len({len(l) for l in lines}) == 1  # all lines same width
+
+    def test_format_table_bad_row(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["1", "2"]])
+
+
+class TestRngAndValidation:
+    def test_as_rng_seed_deterministic(self):
+        assert as_rng(7).random() == as_rng(7).random()
+
+    def test_as_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_rng(rng) is rng
+
+    def test_check_2d(self):
+        with pytest.raises(ShapeError):
+            check_2d(np.zeros(3), "x")
+        arr = np.zeros((2, 2))
+        assert check_2d(arr, "x") is arr
+
+    def test_check_same_length(self):
+        with pytest.raises(ShapeError):
+            check_same_length(np.zeros(2), np.zeros(3), "a", "b")
+
+    def test_check_dtype_floating(self):
+        with pytest.raises(ShapeError):
+            check_dtype_floating(np.zeros(2, dtype=np.int32), "x")
+
+    def test_check_positive(self):
+        with pytest.raises(ValueError):
+            check_positive(0, "x")
