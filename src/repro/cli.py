@@ -9,7 +9,12 @@ Commands:
   (optionally a per-layer breakdown);
 * ``tune`` — run the Sparse Autotuner for a workload/device and save the
   policy to JSON;
+* ``serve-bench`` — drive the serving runtime with a synthetic request
+  stream and report throughput / tail latency / cache hit rates;
 * ``experiments`` — alias of ``python -m repro.experiments``.
+
+Unknown device / engine / workload / precision names exit with status 2
+and a message listing the valid choices (no traceback).
 """
 
 from __future__ import annotations
@@ -18,7 +23,17 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.errors import ReproError
 from repro.utils.format import format_table
+
+
+def _validate_target(device: str, precision: str) -> None:
+    """Fail fast on bad device/precision before any heavy work."""
+    from repro.hw import get_device
+    from repro.precision import Precision
+
+    get_device(device)
+    Precision.parse(precision)
 
 
 def _cmd_devices(_args) -> int:
@@ -72,6 +87,7 @@ def _cmd_measure(args) -> int:
     from repro.baselines import get_engine, measure_inference
     from repro.models import get_workload
 
+    _validate_target(args.device, args.precision)
     workload = get_workload(args.workload)
     engine = get_engine(args.engine)
     m = measure_inference(
@@ -104,6 +120,7 @@ def _cmd_tune(args) -> int:
     from repro.models import get_workload
     from repro.tune import SparseAutotuner, save_policy
 
+    _validate_target(args.device, args.precision)
     workload = get_workload(args.workload)
     model = workload.build_model()
     samples = [workload.make_input(seed=s) for s in range(args.scenes)]
@@ -114,6 +131,69 @@ def _cmd_tune(args) -> int:
     if args.output:
         save_policy(policy, args.output)
         print(f"policy saved to {args.output}")
+    return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    from repro.models import get_workload
+    from repro.serve import (
+        BurstyArrivals,
+        PoissonArrivals,
+        ServeConfig,
+        ServingRuntime,
+        generate_requests,
+    )
+
+    _validate_target(args.device, args.precision)
+    workload = get_workload(args.workload)
+    config = ServeConfig(
+        device=args.device,
+        precision=args.precision,
+        replicas=args.replicas,
+        queue_depth=args.queue_depth,
+        point_budget=args.point_budget,
+        max_batch_requests=args.max_batch,
+        batch_window_ms=args.window_ms,
+        kmap_cache_size=args.kmap_cache,
+        scene_scale=args.scale,
+    )
+    runtime = ServingRuntime(config)
+    if args.policy:
+        runtime.warm_policy_from_file(workload.id, args.policy)
+        print(f"policy cache warmed from {args.policy}")
+    elif args.warm:
+        runtime.warm_policy(workload.id)
+        print(f"policy cache warmed by tuning {workload.id} "
+              f"on {config.tune_scenes} scene(s)")
+    if args.arrivals == "bursty":
+        arrivals = BurstyArrivals(
+            base_rate_per_s=args.rate,
+            burst_rate_per_s=args.burst_rate or 4 * args.rate,
+            seed=args.seed,
+        )
+    else:
+        arrivals = PoissonArrivals(rate_per_s=args.rate, seed=args.seed)
+    requests = generate_requests(
+        workload.id,
+        arrivals,
+        count=args.requests,
+        num_streams=args.streams,
+        deadline_ms=args.deadline_ms,
+        scene_seed_base=args.seed,
+    )
+    result = runtime.serve(requests)
+    print(
+        f"served {result.metrics.completed}/{result.metrics.requests} "
+        f"requests of {workload.id} on {args.replicas} x {args.device} "
+        f"({args.precision}), arrival rate {args.rate:g}/s ({args.arrivals})"
+    )
+    print()
+    print(result.describe())
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).write_text(result.metrics.to_json() + "\n")
+        print(f"\nmetrics written to {args.json}")
     return 0
 
 
@@ -152,13 +232,60 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--scenes", type=int, default=2)
     tune.add_argument("--output", help="save the policy JSON here")
     tune.set_defaults(func=_cmd_tune)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="benchmark the request-driven serving runtime",
+    )
+    serve.add_argument("--workload", default="SK-M-1.0", help="e.g. SK-M-1.0")
+    serve.add_argument("--device", default="a100")
+    serve.add_argument("--precision", default="fp16")
+    serve.add_argument("--requests", type=int, default=64)
+    serve.add_argument(
+        "--rate", type=float, default=30.0,
+        help="mean arrival rate in requests per simulated second",
+    )
+    serve.add_argument(
+        "--arrivals", choices=("poisson", "bursty"), default="poisson"
+    )
+    serve.add_argument(
+        "--burst-rate", type=float, default=None,
+        help="burst-phase rate for --arrivals bursty (default 4x --rate)",
+    )
+    serve.add_argument("--replicas", type=int, default=1)
+    serve.add_argument("--streams", type=int, default=4,
+                       help="scene streams (vehicles) in the request mix")
+    serve.add_argument("--deadline-ms", type=float, default=200.0)
+    serve.add_argument("--queue-depth", type=int, default=32)
+    serve.add_argument("--point-budget", type=int, default=400_000)
+    serve.add_argument("--max-batch", type=int, default=8)
+    serve.add_argument("--window-ms", type=float, default=10.0)
+    serve.add_argument("--kmap-cache", type=int, default=16)
+    serve.add_argument(
+        "--warm", action="store_true",
+        help="pre-warm the policy cache by tuning before serving",
+    )
+    serve.add_argument(
+        "--policy", help="pre-warm from a policy JSON saved by `tune --output`"
+    )
+    serve.add_argument(
+        "--scale", type=float, default=0.25,
+        help="scene resolution scale (wall-clock knob; 1.0 = full)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--json", help="also write metrics JSON here")
+    serve.set_defaults(func=_cmd_serve_bench)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

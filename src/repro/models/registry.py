@@ -87,10 +87,19 @@ DETECTION_WORKLOADS = tuple(
 )
 
 
+#: Spoken-form aliases ("1x width") accepted alongside canonical ids.
+_WORKLOAD_ALIASES = {
+    "sk-m-1x": "sk-m-1.0",
+    "sk-m-1.0x": "sk-m-1.0",
+    "sk-m-0.5x": "sk-m-0.5",
+}
+
+
 def get_workload(workload_id: str) -> Workload:
-    """Look up a workload by id (case-insensitive)."""
+    """Look up a workload by id (case-insensitive, common aliases ok)."""
+    wanted = _WORKLOAD_ALIASES.get(workload_id.lower(), workload_id.lower())
     for key, workload in WORKLOADS.items():
-        if key.lower() == workload_id.lower():
+        if key.lower() == wanted:
             return workload
     raise ConfigError(
         f"unknown workload {workload_id!r}; have {sorted(WORKLOADS)}"

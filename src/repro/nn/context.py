@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
 
 from repro.gpusim.engine import estimate_trace_us, latency_breakdown
 from repro.gpusim.trace import KernelTrace
@@ -90,6 +90,26 @@ class GroupPolicy:
             return self._default
         return by_role.get(role) or by_role.get(Role.FORWARD, self._default)
 
+    # -- public iteration API (serialization, policy caches) ----------- #
+    @property
+    def default(self) -> LayerConfig:
+        """Config served for signatures the tuner never saw."""
+        return self._default
+
+    def signatures(self) -> Tuple[Signature, ...]:
+        return tuple(self._assignments)
+
+    def items(self) -> Iterator[Tuple[Signature, Dict[Role, LayerConfig]]]:
+        """Iterate ``(signature, {role: config})`` pairs.
+
+        Mappings are copies: mutating them does not alter the policy.
+        """
+        for signature, by_role in self._assignments.items():
+            yield signature, dict(by_role)
+
+    def __len__(self) -> int:
+        return len(self._assignments)
+
 
 class ExecutionContext:
     """Runtime state for one network execution.
@@ -144,6 +164,19 @@ class ExecutionContext:
             return False
         self._charged.add(key)
         return True
+
+    def charged_keys(self) -> FrozenSet[tuple]:
+        """Snapshot of the one-shot charges this context has paid."""
+        return frozenset(self._charged)
+
+    def precharge(self, keys: "Iterable[tuple]") -> None:
+        """Mark one-shot charges as already paid.
+
+        The serving runtime uses this to model warm kernel-map state: a
+        context pre-charged with the keys a previous execution of the same
+        scene paid will not re-charge map builds, sorts or reorderings.
+        """
+        self._charged.update(keys)
 
     # ------------------------------------------------------------------ #
     def config(self, signature: Signature, role: Role = Role.FORWARD) -> LayerConfig:

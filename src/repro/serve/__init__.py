@@ -1,0 +1,58 @@
+"""Request-driven inference serving runtime (``repro.serve``).
+
+Turns the one-shot ``measure``/``tune`` machinery into a serving system:
+synthetic LiDAR scenes arrive as a request stream (Poisson or bursty),
+a dynamic batcher groups them under a point budget and deadline window,
+N simulated device replicas serve batches, and warm caches carry tuned
+policies and kernel-map state across requests.  End-to-end latency comes
+from :mod:`repro.gpusim` on a virtual clock, so every run is deterministic.
+
+Entry points: ``python -m repro serve-bench`` (CLI) or::
+
+    from repro.serve import (
+        PoissonArrivals, ServeConfig, ServingRuntime, generate_requests,
+    )
+
+    runtime = ServingRuntime(ServeConfig(device="rtx3090"))
+    runtime.warm_policy("SK-M-1.0")       # optional: pre-warm tuned policy
+    requests = generate_requests(
+        "SK-M-1.0", PoissonArrivals(rate_per_s=30, seed=0), count=64
+    )
+    result = runtime.serve(requests)
+    print(result.describe())
+"""
+
+from repro.serve.arrivals import BurstyArrivals, PoissonArrivals, generate_requests
+from repro.serve.batcher import DynamicBatcher, RequestQueue
+from repro.serve.cache import KmapCache, KmapEntry, PolicyCache
+from repro.serve.metrics import ServingMetrics, compute_metrics, percentile_ms
+from repro.serve.request import InferenceRequest, RequestOutcome, RequestStatus
+from repro.serve.runtime import (
+    DeviceReplica,
+    SceneProvider,
+    ServeConfig,
+    ServeResult,
+    ServingRuntime,
+)
+
+__all__ = [
+    "BurstyArrivals",
+    "PoissonArrivals",
+    "generate_requests",
+    "DynamicBatcher",
+    "RequestQueue",
+    "KmapCache",
+    "KmapEntry",
+    "PolicyCache",
+    "ServingMetrics",
+    "compute_metrics",
+    "percentile_ms",
+    "InferenceRequest",
+    "RequestOutcome",
+    "RequestStatus",
+    "DeviceReplica",
+    "SceneProvider",
+    "ServeConfig",
+    "ServeResult",
+    "ServingRuntime",
+]

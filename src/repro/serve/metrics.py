@@ -1,0 +1,150 @@
+"""Serving metrics: latency percentiles, throughput, queue depth, caches.
+
+Everything is computed from the simulated clock, so a fixed-seed run always
+reports the same numbers.  Rendering follows the repository's report idiom
+(:func:`repro.utils.format.format_table`); :meth:`ServingMetrics.to_json`
+exports the same data for machine consumption.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.request import RequestOutcome, RequestStatus
+from repro.utils.format import format_table
+
+
+def percentile_ms(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (0 for an empty sample)."""
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+@dataclasses.dataclass
+class ServingMetrics:
+    """Summary of one serving run."""
+
+    requests: int
+    completed: int
+    degraded: int
+    shed: int
+    deadline_misses: int
+    makespan_ms: float
+    throughput_rps: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    queue_wait_mean_ms: float
+    service_mean_ms: float
+    queue_depth_max: int
+    queue_depth_mean: float
+    policy_hit_rate: float
+    kmap_hit_rate: float
+    kmap_evictions: int
+    batches: int
+    mean_batch_size: float
+    replica_utilization: float
+    stage_us_per_request: Dict[str, float]
+
+    # ------------------------------------------------------------------ #
+    def to_table(self) -> str:
+        rows = [
+            ["requests", str(self.requests)],
+            ["completed", str(self.completed)],
+            ["degraded", str(self.degraded)],
+            ["shed", str(self.shed)],
+            ["deadline misses", str(self.deadline_misses)],
+            ["makespan", f"{self.makespan_ms:.1f} ms"],
+            ["throughput", f"{self.throughput_rps:.2f} req/s"],
+            ["latency p50", f"{self.latency_p50_ms:.2f} ms"],
+            ["latency p95", f"{self.latency_p95_ms:.2f} ms"],
+            ["latency p99", f"{self.latency_p99_ms:.2f} ms"],
+            ["latency mean", f"{self.latency_mean_ms:.2f} ms"],
+            ["queue wait mean", f"{self.queue_wait_mean_ms:.2f} ms"],
+            ["service mean", f"{self.service_mean_ms:.2f} ms"],
+            ["queue depth max", str(self.queue_depth_max)],
+            ["queue depth mean", f"{self.queue_depth_mean:.2f}"],
+            ["policy cache hit rate", f"{100 * self.policy_hit_rate:.1f}%"],
+            ["kmap cache hit rate", f"{100 * self.kmap_hit_rate:.1f}%"],
+            ["kmap evictions", str(self.kmap_evictions)],
+            ["batches", str(self.batches)],
+            ["mean batch size", f"{self.mean_batch_size:.2f}"],
+            ["replica utilization", f"{100 * self.replica_utilization:.1f}%"],
+        ]
+        return format_table(["metric", "value"], rows, title="serving summary")
+
+    def stage_table(self) -> str:
+        total = sum(self.stage_us_per_request.values()) or 1.0
+        rows = [
+            [stage, f"{us:.1f}", f"{100 * us / total:.1f}%"]
+            for stage, us in sorted(
+                self.stage_us_per_request.items(), key=lambda kv: -kv[1]
+            )
+        ]
+        return format_table(
+            ["stage", "us/request", "share"], rows,
+            title="per-request stage breakdown (simulated)",
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), indent=2, sort_keys=True)
+
+
+def compute_metrics(
+    outcomes: Sequence[RequestOutcome],
+    depth_samples: Sequence[Tuple[float, int]],
+    policy_hit_rate: float,
+    kmap_hit_rate: float,
+    kmap_evictions: int,
+    batches: int,
+    replica_busy_ms: float,
+    replicas: int,
+    stage_us_totals: Optional[Dict[str, float]] = None,
+) -> ServingMetrics:
+    """Fold raw run records into a :class:`ServingMetrics`."""
+    served = [o for o in outcomes if o.completed]
+    latencies = [o.latency_ms for o in served]
+    queue_waits = [o.queue_ms for o in served]
+    services = [o.service_ms for o in served]
+    finish = max((o.finish_ms for o in served), default=0.0)
+    first_arrival = min(
+        (o.request.arrival_ms for o in outcomes), default=0.0
+    )
+    makespan = max(finish - first_arrival, 0.0)
+    depths = [d for _, d in depth_samples]
+    stage_totals = stage_us_totals or {}
+    per_request = {
+        stage: us / max(len(served), 1) for stage, us in stage_totals.items()
+    }
+    return ServingMetrics(
+        requests=len(outcomes),
+        completed=len(served),
+        degraded=sum(1 for o in outcomes if o.status is RequestStatus.DEGRADED),
+        shed=sum(1 for o in outcomes if o.status is RequestStatus.SHED),
+        deadline_misses=sum(1 for o in served if o.deadline_missed),
+        makespan_ms=makespan,
+        throughput_rps=(1000.0 * len(served) / makespan) if makespan else 0.0,
+        latency_p50_ms=percentile_ms(latencies, 50),
+        latency_p95_ms=percentile_ms(latencies, 95),
+        latency_p99_ms=percentile_ms(latencies, 99),
+        latency_mean_ms=float(np.mean(latencies)) if latencies else 0.0,
+        queue_wait_mean_ms=float(np.mean(queue_waits)) if queue_waits else 0.0,
+        service_mean_ms=float(np.mean(services)) if services else 0.0,
+        queue_depth_max=max(depths) if depths else 0,
+        queue_depth_mean=float(np.mean(depths)) if depths else 0.0,
+        policy_hit_rate=policy_hit_rate,
+        kmap_hit_rate=kmap_hit_rate,
+        kmap_evictions=kmap_evictions,
+        batches=batches,
+        mean_batch_size=(len(served) / batches) if batches else 0.0,
+        replica_utilization=(
+            replica_busy_ms / (replicas * makespan) if makespan else 0.0
+        ),
+        stage_us_per_request=per_request,
+    )

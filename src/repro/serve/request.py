@@ -1,0 +1,108 @@
+"""Request model for the serving runtime.
+
+A request asks for one inference over a LiDAR scene.  Requests belong to a
+*stream* (one vehicle's sensor feed): consecutive frames of a stream share
+scene geometry, which is what makes the serve-side kernel-map cache
+(:class:`repro.serve.cache.KmapCache`) profitable — exactly the "reuse a
+tuned schedule for millions of scenes" deployment story of Section 4.2.
+
+All times are in *simulated* milliseconds on the runtime's virtual clock;
+nothing here reads a wall clock, so every serving run is deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+
+class RequestStatus(enum.Enum):
+    """Terminal state of a request."""
+
+    COMPLETED = "completed"  # served within the normal path
+    DEGRADED = "degraded"  # served with the fallback (untuned) config
+    SHED = "shed"  # rejected at admission: queue full
+
+
+@dataclasses.dataclass(frozen=True)
+class InferenceRequest:
+    """One inference request over a synthetic LiDAR scene.
+
+    Attributes:
+        request_id: Monotonically increasing id (arrival order).
+        workload_id: Which benchmark workload the scene belongs to
+            (:mod:`repro.models`), e.g. ``"SK-M-1.0"``.
+        stream_id: Scene stream (vehicle).  Frames of one stream share
+            coordinates, enabling kernel-map reuse across requests.
+        frame_index: Frame number within the stream.
+        scene_seed: Seed for the scene generator — equal seeds mean equal
+            geometry (and therefore kmap-cache hits).
+        arrival_ms: Arrival time on the simulated clock.
+        deadline_ms: Relative latency budget; the absolute deadline is
+            ``arrival_ms + deadline_ms``.
+    """
+
+    request_id: int
+    workload_id: str
+    stream_id: int
+    frame_index: int
+    scene_seed: int
+    arrival_ms: float
+    deadline_ms: float
+
+    @property
+    def absolute_deadline_ms(self) -> float:
+        return self.arrival_ms + self.deadline_ms
+
+    @property
+    def scene_key(self) -> tuple:
+        """Cache identity of the request's scene geometry."""
+        return (self.workload_id, self.scene_seed)
+
+
+@dataclasses.dataclass
+class RequestOutcome:
+    """What happened to one request.
+
+    ``start_ms``/``finish_ms`` are ``None`` for shed requests.  Latency is
+    end-to-end: admission to batch completion, queueing included.
+    """
+
+    request: InferenceRequest
+    status: RequestStatus
+    start_ms: Optional[float] = None
+    finish_ms: Optional[float] = None
+    batch_id: Optional[int] = None
+    batch_size: int = 0
+    replica: Optional[int] = None
+    policy_hit: bool = False
+    kmap_hit: bool = False
+    service_ms: float = 0.0
+
+    @property
+    def completed(self) -> bool:
+        return self.status is not RequestStatus.SHED
+
+    @property
+    def degraded(self) -> bool:
+        return self.status is RequestStatus.DEGRADED
+
+    @property
+    def latency_ms(self) -> float:
+        if self.finish_ms is None:
+            raise ValueError("shed requests have no latency")
+        return self.finish_ms - self.request.arrival_ms
+
+    @property
+    def queue_ms(self) -> float:
+        if self.start_ms is None:
+            raise ValueError("shed requests have no queue time")
+        return self.start_ms - self.request.arrival_ms
+
+    @property
+    def deadline_missed(self) -> bool:
+        return (
+            self.finish_ms is not None
+            and self.finish_ms > self.request.absolute_deadline_ms
+        )

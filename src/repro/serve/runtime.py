@@ -1,0 +1,413 @@
+"""The serving runtime: a deterministic, simulated-clock inference server.
+
+Architecture (one `serve()` call = one serving run):
+
+* a precomputed **request schedule** (from :mod:`repro.serve.arrivals`)
+  drives a discrete-event loop — events are request arrivals, device
+  completions and batching-window timers, all on one virtual clock;
+* a bounded :class:`~repro.serve.batcher.RequestQueue` applies admission
+  control (overflowing arrivals are shed), and a
+  :class:`~repro.serve.batcher.DynamicBatcher` groups queued requests
+  under a point budget and deadline window;
+* **N device replicas** (:class:`DeviceReplica`) serve batches; each batch
+  executes the workload's model through an
+  :class:`~repro.nn.context.ExecutionContext` in ``simulate_only`` mode,
+  and :mod:`repro.gpusim` turns the trace into the batch's service time;
+* a :class:`~repro.serve.cache.PolicyCache` holds tuned
+  :class:`~repro.nn.context.GroupPolicy` objects (pre-warmed from
+  ``python -m repro tune`` output or tuned inline), and a
+  :class:`~repro.serve.cache.KmapCache` reuses kernel-map state across
+  frames of one scene stream;
+* when the policy cache misses **under deadline pressure** the batch is
+  served with the untuned default :class:`LayerConfig` instead of waiting
+  for a tuner run — graceful degradation, counted and reported.
+
+Nothing reads a wall clock: a fixed request schedule yields bit-identical
+metrics on every run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.hw.specs import DeviceSpec, get_device
+from repro.models.registry import Workload, get_workload
+from repro.nn.context import ExecutionContext, FixedPolicy, GroupPolicy, LayerConfig
+from repro.nn.module import Module
+from repro.precision import Precision
+from repro.serve.batcher import DynamicBatcher, RequestQueue
+from repro.serve.cache import KmapCache, KmapEntry, PolicyCache, PolicyKey
+from repro.serve.metrics import ServingMetrics, compute_metrics
+from repro.serve.request import InferenceRequest, RequestOutcome, RequestStatus
+from repro.sparse.tensor import SparseTensor
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeConfig:
+    """Configuration of one serving runtime.
+
+    Attributes:
+        device / precision: the simulated GPU replicas and numeric
+            precision every batch runs at.
+        replicas: number of identical device replicas served round-robin
+            (earliest-free-first).
+        queue_depth: admission-control bound; arrivals past it are shed.
+        point_budget / max_batch_requests / batch_window_ms: dynamic
+            batching knobs (see :class:`DynamicBatcher`).
+        kmap_cache_size: LRU capacity of the kernel-map reuse cache, in
+            scenes.
+        dispatch_overhead_us: fixed host-side cost per batch dispatch
+            (scheduler decision, output routing).
+        preprocess_us_per_point: per-request voxelization/feature cost,
+            proportional to scene points.
+        autotune_on_miss: tune inline on a policy-cache miss (paying
+            ``tune_penalty_ms`` of simulated device time) instead of
+            degrading to the default config.  Off by default: serving
+            stacks pre-warm policies offline.
+        tune_penalty_ms: simulated device occupancy of one inline tuner
+            run.
+        pressure_fraction: a request is under deadline pressure once it
+            has waited this fraction of its deadline; pressured batches
+            never wait for an inline tuner.
+        scene_scale: azimuth-resolution scale of generated scenes — a
+            wall-clock knob only (simulated numbers scale with it but
+            stay internally consistent; comparisons hold at any scale).
+        tune_scenes: sample scenes per inline/warmup tuner run.
+    """
+
+    device: str = "a100"
+    precision: str = "fp16"
+    replicas: int = 1
+    queue_depth: int = 32
+    point_budget: int = 400_000
+    max_batch_requests: int = 8
+    batch_window_ms: float = 10.0
+    kmap_cache_size: int = 16
+    dispatch_overhead_us: float = 150.0
+    preprocess_us_per_point: float = 0.002
+    autotune_on_miss: bool = False
+    tune_penalty_ms: float = 250.0
+    pressure_fraction: float = 0.5
+    scene_scale: float = 0.25
+    tune_scenes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ConfigError(f"replicas must be >= 1, got {self.replicas}")
+        if not 0.0 < self.pressure_fraction <= 1.0:
+            raise ConfigError(
+                f"pressure_fraction must be in (0, 1], got {self.pressure_fraction}"
+            )
+        if self.dispatch_overhead_us < 0 or self.preprocess_us_per_point < 0:
+            raise ConfigError("overheads must be non-negative")
+        if self.tune_penalty_ms < 0:
+            raise ConfigError("tune_penalty_ms must be non-negative")
+
+
+@dataclasses.dataclass
+class DeviceReplica:
+    """One simulated device with its own clock."""
+
+    index: int
+    spec: DeviceSpec
+    busy_ms: float = 0.0
+    batches: int = 0
+
+
+class SceneProvider:
+    """Materialises (and memoises) request scenes.
+
+    Frames of one stream share a ``scene_seed``, so they resolve to the
+    *same* :class:`SparseTensor` — its ``MapCache`` then carries kernel
+    maps across requests, mirroring an engine that keeps per-stream map
+    state resident.
+    """
+
+    def __init__(self, scale: float):
+        self.scale = scale
+        self._samples: Dict[tuple, SparseTensor] = {}
+
+    def sample(self, workload: Workload, request: InferenceRequest) -> SparseTensor:
+        key = request.scene_key
+        if key not in self._samples:
+            from repro.data.datasets import make_sample
+
+            self._samples[key] = make_sample(
+                workload.dataset,
+                frames=workload.frames,
+                seed=request.scene_seed,
+                scale=self.scale,
+            )
+        return self._samples[key]
+
+    def points(self, workload: Workload, request: InferenceRequest) -> int:
+        return self.sample(workload, request).num_points
+
+
+@dataclasses.dataclass
+class ServeResult:
+    """Everything one serving run produced."""
+
+    config: ServeConfig
+    outcomes: List[RequestOutcome]
+    metrics: ServingMetrics
+
+    def describe(self) -> str:
+        return self.metrics.to_table() + "\n\n" + self.metrics.stage_table()
+
+
+class ServingRuntime:
+    """Request-driven serving over simulated device replicas."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        policy_cache: Optional[PolicyCache] = None,
+    ):
+        self.config = config or ServeConfig()
+        self.device = get_device(self.config.device)
+        self.precision = Precision.parse(self.config.precision)
+        self.policy_cache = policy_cache or PolicyCache()
+        self.kmap_cache = KmapCache(capacity=self.config.kmap_cache_size)
+        self.scenes = SceneProvider(scale=self.config.scene_scale)
+        self.default_config = LayerConfig()
+        self._models: Dict[str, Module] = {}
+        self._tuned_inline: set = set()
+
+    # ------------------------------------------------------------------ #
+    def model(self, workload_id: str) -> Module:
+        if workload_id not in self._models:
+            model = get_workload(workload_id).build_model()
+            model.eval()
+            self._models[workload_id] = model
+        return self._models[workload_id]
+
+    def policy_key(self, workload_id: str) -> PolicyKey:
+        return PolicyCache.make_key(
+            get_workload(workload_id).id, self.device.name, self.precision.value
+        )
+
+    def warm_policy(self, workload_id: str, seed_base: int = 9000) -> GroupPolicy:
+        """Tune the workload's model now and install the policy (offline
+        pre-warming — the ``python -m repro tune`` path, inlined)."""
+        from repro.tune.tuner import SparseAutotuner
+
+        workload = get_workload(workload_id)
+        from repro.data.datasets import make_sample
+
+        samples = [
+            make_sample(
+                workload.dataset,
+                frames=workload.frames,
+                seed=seed_base + i,
+                scale=self.config.scene_scale,
+            )
+            for i in range(self.config.tune_scenes)
+        ]
+        policy, _ = SparseAutotuner().tune(
+            self.model(workload_id), samples, self.device, self.precision
+        )
+        return self.policy_cache.put(self.policy_key(workload_id), policy)
+
+    def warm_policy_from_file(self, workload_id: str, path) -> GroupPolicy:
+        """Install a policy saved by ``python -m repro tune --output``."""
+        return self.policy_cache.warm_from_file(self.policy_key(workload_id), path)
+
+    # ------------------------------------------------------------------ #
+    def _preprocess_us(self, sample: SparseTensor) -> float:
+        return self.config.preprocess_us_per_point * sample.num_points
+
+    def _under_pressure(self, batch: Sequence[InferenceRequest], now: float) -> bool:
+        return any(
+            now - r.arrival_ms > self.config.pressure_fraction * r.deadline_ms
+            for r in batch
+        )
+
+    def _resolve_policy(
+        self, batch: Sequence[InferenceRequest], now: float
+    ) -> Tuple[object, bool, bool, float]:
+        """Returns (policy, hit, degraded, extra_service_ms)."""
+        workload_id = batch[0].workload_id
+        key = self.policy_key(workload_id)
+        policy = self.policy_cache.get(key)
+        if policy is not None:
+            return policy, True, False, 0.0
+        if (
+            self.config.autotune_on_miss
+            and key not in self._tuned_inline
+            and not self._under_pressure(batch, now)
+        ):
+            # Inline tuning: the replica is occupied for the (simulated)
+            # tuner run, then the batch is served with the fresh policy.
+            self._tuned_inline.add(key)
+            policy = self.warm_policy(workload_id)
+            return policy, False, False, self.config.tune_penalty_ms
+        # Graceful degradation: serve with the untuned default config.
+        return FixedPolicy(self.default_config), False, True, 0.0
+
+    def _execute(
+        self, batch: Sequence[InferenceRequest], now: float
+    ) -> Tuple[float, bool, bool, List[bool], Dict[str, float]]:
+        """Run one batch; returns (service_ms, policy_hit, degraded,
+        per-request kmap hits, stage-breakdown in us)."""
+        workload_id = batch[0].workload_id
+        workload = get_workload(workload_id)
+        model = self.model(workload_id)
+        policy, policy_hit, degraded, extra_ms = self._resolve_policy(batch, now)
+
+        ctx = ExecutionContext(
+            device=self.device,
+            precision=self.precision,
+            policy=policy,
+            simulate_only=True,
+            adaptive_tiling=not degraded,
+        )
+        kmap_hits: List[bool] = []
+        preprocess_us = 0.0
+        for request in batch:
+            sample = self.scenes.sample(workload, request)
+            entry = self.kmap_cache.get(request.scene_key)
+            hit = entry is not None
+            kmap_hits.append(hit)
+            if hit:
+                ctx.precharge(entry.charge_keys)
+            before = ctx.charged_keys()
+            model(sample, ctx)
+            if not hit:
+                self.kmap_cache.put(
+                    request.scene_key,
+                    KmapEntry(
+                        sample=sample,
+                        charge_keys=ctx.charged_keys() - before,
+                    ),
+                )
+            preprocess_us += self._preprocess_us(sample)
+
+        stages = dict(ctx.breakdown_us())
+        stages["host/preprocess"] = preprocess_us
+        stages["host/dispatch"] = self.config.dispatch_overhead_us
+        if extra_ms:
+            stages["host/inline_tune"] = extra_ms * 1e3
+        service_ms = (
+            ctx.latency_us()
+            + preprocess_us
+            + self.config.dispatch_overhead_us
+        ) / 1e3 + extra_ms
+        return service_ms, policy_hit, degraded, kmap_hits, stages
+
+    # ------------------------------------------------------------------ #
+    def serve(self, requests: Sequence[InferenceRequest]) -> ServeResult:
+        """Run the discrete-event serving loop over ``requests``."""
+        if not requests:
+            raise ConfigError("serve() needs at least one request")
+        config = self.config
+        replicas = [
+            DeviceReplica(index=i, spec=self.device)
+            for i in range(config.replicas)
+        ]
+        queue = RequestQueue(max_depth=config.queue_depth)
+        workload_cache: Dict[str, Workload] = {}
+
+        def scene_points(request: InferenceRequest) -> int:
+            workload = workload_cache.setdefault(
+                request.workload_id, get_workload(request.workload_id)
+            )
+            return self.scenes.points(workload, request)
+
+        batcher = DynamicBatcher(
+            point_budget=config.point_budget,
+            max_batch_requests=config.max_batch_requests,
+            window_ms=config.batch_window_ms,
+            scene_points=scene_points,
+        )
+
+        outcomes: Dict[int, RequestOutcome] = {}
+        depth_samples: List[Tuple[float, int]] = []
+        stage_totals: Dict[str, float] = {}
+        free: List[int] = list(range(config.replicas))
+        events: List[Tuple[float, int, int, object]] = []
+        seq = 0
+        ARRIVAL, FREE, TIMER = 0, 1, 2
+        for request in sorted(requests, key=lambda r: (r.arrival_ms, r.request_id)):
+            heapq.heappush(events, (request.arrival_ms, seq, ARRIVAL, request))
+            seq += 1
+        arrivals_pending = len(requests)
+        batch_counter = 0
+
+        def try_dispatch(now: float) -> None:
+            nonlocal seq, batch_counter
+            while (
+                free
+                and queue
+                and batcher.ready(queue, now, more_arrivals=arrivals_pending > 0)
+            ):
+                batch = batcher.form_batch(queue, now)
+                if not batch:
+                    break
+                replica = replicas[free.pop(0)]
+                service_ms, policy_hit, degraded, kmap_hits, stages = (
+                    self._execute(batch, now)
+                )
+                finish = now + service_ms
+                replica.busy_ms += service_ms
+                replica.batches += 1
+                for stage, us in stages.items():
+                    stage_totals[stage] = stage_totals.get(stage, 0.0) + us
+                for request, kmap_hit in zip(batch, kmap_hits):
+                    outcomes[request.request_id] = RequestOutcome(
+                        request=request,
+                        status=(
+                            RequestStatus.DEGRADED
+                            if degraded
+                            else RequestStatus.COMPLETED
+                        ),
+                        start_ms=now,
+                        finish_ms=finish,
+                        batch_id=batch_counter,
+                        batch_size=len(batch),
+                        replica=replica.index,
+                        policy_hit=policy_hit,
+                        kmap_hit=kmap_hit,
+                        service_ms=service_ms,
+                    )
+                batch_counter += 1
+                depth_samples.append((now, len(queue)))
+                heapq.heappush(events, (finish, seq, FREE, replica.index))
+                seq += 1
+            if free and queue and arrivals_pending > 0:
+                decision = batcher.next_decision_ms(queue)
+                if decision is not None and decision > now:
+                    heapq.heappush(events, (decision, seq, TIMER, None))
+                    seq += 1
+
+        while events:
+            now, _, kind, payload = heapq.heappop(events)
+            if kind == ARRIVAL:
+                arrivals_pending -= 1
+                request = payload
+                if not queue.admit(request):
+                    outcomes[request.request_id] = RequestOutcome(
+                        request=request, status=RequestStatus.SHED
+                    )
+                depth_samples.append((now, len(queue)))
+            elif kind == FREE:
+                free.append(payload)
+                free.sort()
+            try_dispatch(now)
+
+        ordered = [outcomes[r.request_id] for r in requests]
+        metrics = compute_metrics(
+            ordered,
+            depth_samples,
+            policy_hit_rate=self.policy_cache.hit_rate,
+            kmap_hit_rate=self.kmap_cache.hit_rate,
+            kmap_evictions=self.kmap_cache.evictions,
+            batches=batch_counter,
+            replica_busy_ms=sum(r.busy_ms for r in replicas),
+            replicas=config.replicas,
+            stage_us_totals=stage_totals,
+        )
+        return ServeResult(config=config, outcomes=ordered, metrics=metrics)

@@ -54,7 +54,7 @@ def _signature_to_key(signature: Signature) -> str:
 def save_policy(policy: GroupPolicy, path: "str | Path") -> None:
     """Write a tuned policy to JSON."""
     payload: Dict[str, dict] = {}
-    for signature, by_role in policy._assignments.items():
+    for signature, by_role in policy.items():
         payload[_signature_to_key(signature)] = {
             role.value: _config_to_dict(config)
             for role, config in by_role.items()

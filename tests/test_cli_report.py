@@ -65,6 +65,45 @@ class TestCli:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_unknown_device_exits_2_with_choices(self, capsys):
+        assert main(["measure", "SK-M-0.5", "--device", "h100"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "h100" in err
+        assert "known devices" in err  # lists the valid choices
+
+    def test_unknown_engine_exits_2(self, capsys):
+        assert main(["measure", "SK-M-0.5", "--engine", "cudnn"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown engine" in err and "torchsparse++" in err
+
+    def test_unknown_workload_exits_2(self, capsys):
+        assert main(["measure", "SK-Z-9"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload" in err and "SK-M-0.5" in err
+
+    def test_unknown_precision_exits_2(self, capsys):
+        assert main(["tune", "SK-M-0.5", "--precision", "int8"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown precision" in err and "fp16" in err
+
+    def test_tune_unknown_workload_exits_2(self, capsys):
+        assert main(["tune", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_serve_bench_unknown_device_exits_2(self, capsys):
+        assert main(["serve-bench", "--device", "tpu"]) == 2
+        assert "known devices" in capsys.readouterr().err
+
+    def test_serve_bench_missing_policy_file_exits_2(self, capsys):
+        assert main(["serve-bench", "--policy", "/nonexistent/p.json"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_workload_alias_resolves(self):
+        from repro.models import get_workload
+
+        assert get_workload("sk-m-1x").id == "SK-M-1.0"
+        assert get_workload("SK-M-0.5x").id == "SK-M-0.5"
+
     def test_experiments_list(self, capsys):
         from repro.experiments.__main__ import main as exp_main
 

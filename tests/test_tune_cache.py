@@ -1,0 +1,99 @@
+"""Round-trip tests for policy serialization (`repro.tune.cache`).
+
+The deployment contract: a tuned policy written to JSON and loaded back
+must assign the identical :class:`LayerConfig` to every (signature, role)
+— and therefore produce the identical simulated end-to-end latency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import MinkUNet
+from repro.nn import ExecutionContext
+from repro.nn.context import GroupPolicy, LayerConfig, Role
+from repro.sparse import SparseTensor
+from repro.tune import SparseAutotuner, load_policy, save_policy
+
+
+def cloud(n=400, extent=18, seed=0):
+    rng = np.random.default_rng(seed)
+    coords = np.unique(
+        np.concatenate(
+            [np.zeros((n, 1), np.int32),
+             rng.integers(0, extent, (n, 3)).astype(np.int32)],
+            axis=1,
+        ),
+        axis=0,
+    )
+    feats = rng.standard_normal((len(coords), 4)).astype(np.float32)
+    return SparseTensor(coords, feats)
+
+
+@pytest.fixture(scope="module")
+def tuned():
+    model = MinkUNet(in_channels=4, num_classes=5, width=0.25)
+    policy, report = SparseAutotuner().tune(
+        model, [cloud()], device="3090", precision="fp16"
+    )
+    return model, policy, report
+
+
+class TestPublicPolicyApi:
+    def test_items_covers_all_signatures(self, tuned):
+        _, policy, report = tuned
+        assert len(policy) == len(report.groups)
+        signatures = policy.signatures()
+        assert set(signatures) == {sig for sig, _ in policy.items()}
+        for signature, by_role in policy.items():
+            assert Role.FORWARD in by_role
+            assert policy.config(signature) == by_role[Role.FORWARD]
+
+    def test_items_returns_copies(self, tuned):
+        _, policy, _ = tuned
+        signature, by_role = next(iter(policy.items()))
+        original = by_role[Role.FORWARD]
+        by_role[Role.FORWARD] = LayerConfig(tensor_cores=False)
+        assert policy.config(signature) == original
+
+    def test_default_property(self):
+        default = LayerConfig(tensor_cores=False)
+        policy = GroupPolicy({}, default=default)
+        assert policy.default == default
+        assert policy.config(("anything",)) == default
+
+
+class TestRoundTrip:
+    def test_configs_identical_after_round_trip(self, tuned, tmp_path):
+        _, policy, _ = tuned
+        path = tmp_path / "policy.json"
+        save_policy(policy, path)
+        loaded = load_policy(path)
+        assert len(loaded) == len(policy)
+        for signature, by_role in policy.items():
+            for role, config in by_role.items():
+                assert loaded.config(signature, role) == config
+
+    def test_simulated_latency_identical_after_round_trip(
+        self, tuned, tmp_path
+    ):
+        model, policy, _ = tuned
+        path = tmp_path / "policy.json"
+        save_policy(policy, path)
+        loaded = load_policy(path)
+        model.eval()
+        latencies = []
+        for p in (policy, loaded):
+            ctx = ExecutionContext(
+                device="3090", precision="fp16", policy=p, simulate_only=True
+            )
+            model(cloud(seed=7), ctx)  # a scene the tuner never saw
+            latencies.append(ctx.latency_us())
+        assert latencies[0] == latencies[1]
+
+    def test_double_round_trip_stable(self, tuned, tmp_path):
+        _, policy, _ = tuned
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        save_policy(policy, first)
+        save_policy(load_policy(first), second)
+        assert first.read_text() == second.read_text()
