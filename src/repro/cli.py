@@ -138,6 +138,7 @@ def _cmd_serve_bench(args) -> int:
     from repro.models import get_workload
     from repro.serve import (
         BurstyArrivals,
+        FaultPlan,
         PoissonArrivals,
         ServeConfig,
         ServingRuntime,
@@ -146,16 +147,27 @@ def _cmd_serve_bench(args) -> int:
 
     _validate_target(args.device, args.precision)
     workload = get_workload(args.workload)
+    faults = None
+    if args.faults:
+        fault_seed = args.fault_seed if args.fault_seed is not None else args.seed
+        faults = FaultPlan.parse(args.faults, seed=fault_seed)
     config = ServeConfig(
         device=args.device,
         precision=args.precision,
         replicas=args.replicas,
+        balancer=args.balancer,
+        replica_queue_depth=args.replica_queue_depth,
         queue_depth=args.queue_depth,
         point_budget=args.point_budget,
         max_batch_requests=args.max_batch,
         batch_window_ms=args.window_ms,
         kmap_cache_size=args.kmap_cache,
         scene_scale=args.scale,
+        faults=faults,
+        max_retries=args.retries,
+        retry_backoff_ms=args.retry_backoff_ms,
+        timeout_ms=args.timeout_ms,
+        hedge_ms=args.hedge_ms,
     )
     runtime = ServingRuntime(config)
     if args.policy:
@@ -185,7 +197,9 @@ def _cmd_serve_bench(args) -> int:
     print(
         f"served {result.metrics.completed}/{result.metrics.requests} "
         f"requests of {workload.id} on {args.replicas} x {args.device} "
-        f"({args.precision}), arrival rate {args.rate:g}/s ({args.arrivals})"
+        f"({args.precision}), arrival rate {args.rate:g}/s ({args.arrivals}), "
+        f"{args.balancer} balancer"
+        + (f", faults [{args.faults}]" if args.faults else "")
     )
     print()
     print(result.describe())
@@ -253,6 +267,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="burst-phase rate for --arrivals bursty (default 4x --rate)",
     )
     serve.add_argument("--replicas", type=int, default=1)
+    serve.add_argument(
+        "--balancer", default="round_robin",
+        help="replica load balancer: round_robin, least_loaded, jsq, "
+             "or cache_affinity",
+    )
+    serve.add_argument(
+        "--replica-queue-depth", type=int, default=1,
+        help="in-flight batches one replica may hold (>1 lets load-aware "
+             "balancers pipeline work behind busy replicas)",
+    )
+    serve.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject faults, e.g. 'stall=2,fail=0.1,skew=3' "
+             "(stall windows/s per replica, per-batch failure probability, "
+             "slow-replica service multiplier)",
+    )
+    serve.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed of the fault streams (default: --seed)",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=0,
+        help="max retries for transiently failed batches",
+    )
+    serve.add_argument("--retry-backoff-ms", type=float, default=5.0,
+                       help="base of the exponential retry backoff")
+    serve.add_argument(
+        "--timeout-ms", type=float, default=0.0,
+        help="drop queued requests older than this (0 = no timeouts)",
+    )
+    serve.add_argument(
+        "--hedge-ms", type=float, default=0.0,
+        help="hedge batches predicted to run longer than this onto a "
+             "second replica (0 = no hedging)",
+    )
     serve.add_argument("--streams", type=int, default=4,
                        help="scene streams (vehicles) in the request mix")
     serve.add_argument("--deadline-ms", type=float, default=200.0)

@@ -3,17 +3,27 @@
 Turns the one-shot ``measure``/``tune`` machinery into a serving system:
 synthetic LiDAR scenes arrive as a request stream (Poisson or bursty),
 a dynamic batcher groups them under a point budget and deadline window,
-N simulated device replicas serve batches, and warm caches carry tuned
-policies and kernel-map state across requests.  End-to-end latency comes
-from :mod:`repro.gpusim` on a virtual clock, so every run is deterministic.
+and a cluster of N simulated device replicas serves batches behind a
+pluggable load balancer (round-robin, least-loaded, join-shortest-queue,
+cache-affinity).  A deterministic fault model can stall replicas, fail
+batches transiently and skew replica speed; requests retry with
+exponential backoff, long batches can hedge onto a second replica, and
+queued requests can time out.  Warm caches carry tuned policies
+(cluster-global) and kernel-map state (per replica) across requests.
+End-to-end latency comes from :mod:`repro.gpusim` on a virtual clock, so
+every run — faulty or not — is byte-for-byte deterministic.
 
 Entry points: ``python -m repro serve-bench`` (CLI) or::
 
     from repro.serve import (
-        PoissonArrivals, ServeConfig, ServingRuntime, generate_requests,
+        FaultPlan, PoissonArrivals, ServeConfig, ServingRuntime,
+        generate_requests,
     )
 
-    runtime = ServingRuntime(ServeConfig(device="rtx3090"))
+    runtime = ServingRuntime(ServeConfig(
+        device="rtx3090", replicas=4, balancer="least_loaded",
+        faults=FaultPlan.parse("fail=0.1,skew=2", seed=0), max_retries=3,
+    ))
     runtime.warm_policy("SK-M-1.0")       # optional: pre-warm tuned policy
     requests = generate_requests(
         "SK-M-1.0", PoissonArrivals(rate_per_s=30, seed=0), count=64
@@ -23,8 +33,18 @@ Entry points: ``python -m repro serve-bench`` (CLI) or::
 """
 
 from repro.serve.arrivals import BurstyArrivals, PoissonArrivals, generate_requests
+from repro.serve.balancer import (
+    BALANCERS,
+    CacheAffinityBalancer,
+    JoinShortestQueueBalancer,
+    LeastLoadedBalancer,
+    LoadBalancer,
+    RoundRobinBalancer,
+    get_balancer,
+)
 from repro.serve.batcher import DynamicBatcher, RequestQueue
 from repro.serve.cache import KmapCache, KmapEntry, PolicyCache
+from repro.serve.faults import NO_FAULTS, FaultInjector, FaultPlan
 from repro.serve.metrics import ServingMetrics, compute_metrics, percentile_ms
 from repro.serve.request import InferenceRequest, RequestOutcome, RequestStatus
 from repro.serve.runtime import (
@@ -39,11 +59,21 @@ __all__ = [
     "BurstyArrivals",
     "PoissonArrivals",
     "generate_requests",
+    "BALANCERS",
+    "CacheAffinityBalancer",
+    "JoinShortestQueueBalancer",
+    "LeastLoadedBalancer",
+    "LoadBalancer",
+    "RoundRobinBalancer",
+    "get_balancer",
     "DynamicBatcher",
     "RequestQueue",
     "KmapCache",
     "KmapEntry",
     "PolicyCache",
+    "NO_FAULTS",
+    "FaultInjector",
+    "FaultPlan",
     "ServingMetrics",
     "compute_metrics",
     "percentile_ms",

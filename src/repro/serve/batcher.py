@@ -41,6 +41,30 @@ class RequestQueue:
         self._items.append(request)
         return True
 
+    def requeue(self, request: InferenceRequest) -> None:
+        """Re-enqueue a retried request at the head of the line.
+
+        Retries bypass admission control: the request was already admitted
+        once and shedding it now would turn a transient replica fault into
+        a dropped request.  Head placement bounds retry latency — the
+        request has already waited a full service attempt plus backoff.
+        """
+        self._items.insert(0, request)
+
+    def expire(
+        self, now_ms: float, timeout_ms: float
+    ) -> List[InferenceRequest]:
+        """Drop (and return) queued requests older than ``timeout_ms``."""
+        expired = [
+            r for r in self._items if now_ms - r.arrival_ms >= timeout_ms
+        ]
+        if expired:
+            dead = {r.request_id for r in expired}
+            self._items = [
+                r for r in self._items if r.request_id not in dead
+            ]
+        return expired
+
     def __len__(self) -> int:
         return len(self._items)
 

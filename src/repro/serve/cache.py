@@ -13,6 +13,14 @@ Two kinds of state survive across requests in a deployed engine:
   reorderings are reusable.  The cache is LRU-bounded (maps are the
   dominant memory consumer of a sparse-conv engine) and keeps hit/miss/
   eviction accounting for the metrics report.
+
+The policy cache is cluster-global (a tuned policy depends only on model /
+device / precision), while each :class:`~repro.serve.runtime.DeviceReplica`
+owns a *private* kernel-map cache — warm map state lives in one device's
+memory and does not teleport between replicas.  That locality is what the
+``cache_affinity`` balancer (:mod:`repro.serve.balancer`) exploits:
+membership checks (``key in cache``) are free and never perturb the
+hit/miss accounting, so routing can inspect warmth without skewing metrics.
 """
 
 from __future__ import annotations
@@ -130,6 +138,10 @@ class KmapCache:
 
     def __contains__(self, scene_key: tuple) -> bool:
         return scene_key in self._entries
+
+    def warm_keys(self) -> Tuple[tuple, ...]:
+        """Resident scene keys, LRU-first (diagnostics / affinity tests)."""
+        return tuple(self._entries)
 
     @property
     def hit_rate(self) -> float:

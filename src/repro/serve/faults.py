@@ -1,0 +1,225 @@
+"""Deterministic fault injection for the serving cluster.
+
+Three failure modes cover what actually goes wrong in a multi-replica
+sparse-conv serving fleet:
+
+* **replica stalls** — a replica stops accepting new batches for a window
+  (driver hiccup, preemption, thermal throttling).  In-flight work drains;
+  the replica rejoins when the window ends (recovery on the virtual clock);
+* **transient batch failures** — a dispatched batch dies partway through
+  (ECC retry, OOM race, kernel launch failure).  The replica loses a
+  fraction of the batch's service time and the requests must be retried;
+* **slow-replica skew** — one or more replicas serve every batch at a
+  service-time multiple (a thermally limited or contended device), the
+  canonical straggler that load-aware balancers exist to route around.
+
+Everything is drawn from seeded :class:`random.Random` streams and keyed so
+the same :class:`FaultPlan` produces the identical fault trace on every run:
+stall windows come from one per-replica generator queried in virtual-time
+order, and each batch-failure draw is a pure function of ``(seed, batch
+id)`` — independent of event interleaving.  A faulty serving run is exactly
+as reproducible as a clean one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """Configuration of the injected failure modes.
+
+    Attributes:
+        stall_rate_per_s: expected stall windows per simulated second, per
+            replica (0 disables stalls).
+        stall_ms: mean stall-window duration (exponentially distributed).
+        fail_rate: probability that one dispatched batch fails transiently.
+        fail_cost_fraction: fraction of the batch's service time a failed
+            attempt still occupies the replica for before it errors out.
+        skew_factor: service-time multiplier applied to the skewed replicas.
+        skew_replicas: replica indices that run slow; empty with a
+            ``skew_factor != 1`` means "the last replica".
+        seed: seed of every fault stream.
+    """
+
+    stall_rate_per_s: float = 0.0
+    stall_ms: float = 50.0
+    fail_rate: float = 0.0
+    fail_cost_fraction: float = 0.5
+    skew_factor: float = 1.0
+    skew_replicas: Tuple[int, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.stall_rate_per_s < 0:
+            raise ConfigError(
+                f"stall rate must be >= 0, got {self.stall_rate_per_s}"
+            )
+        if self.stall_ms <= 0:
+            raise ConfigError(f"stall_ms must be positive, got {self.stall_ms}")
+        if not 0.0 <= self.fail_rate < 1.0:
+            raise ConfigError(
+                f"fail_rate must be in [0, 1), got {self.fail_rate}"
+            )
+        if not 0.0 <= self.fail_cost_fraction <= 1.0:
+            raise ConfigError(
+                "fail_cost_fraction must be in [0, 1], "
+                f"got {self.fail_cost_fraction}"
+            )
+        if self.skew_factor < 1.0:
+            raise ConfigError(
+                f"skew_factor must be >= 1, got {self.skew_factor}"
+            )
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.stall_rate_per_s > 0
+            or self.fail_rate > 0
+            or self.skew_factor != 1.0
+        )
+
+    # ------------------------------------------------------------------ #
+    #: Spec keys accepted by :meth:`parse` and their plan fields.
+    SPEC_KEYS = {
+        "stall": "stall_rate_per_s",
+        "stall_ms": "stall_ms",
+        "fail": "fail_rate",
+        "fail_cost": "fail_cost_fraction",
+        "skew": "skew_factor",
+        "skew_replica": "skew_replicas",
+    }
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Build a plan from a CLI spec like ``"stall=2,fail=0.1,skew=3"``.
+
+        Keys: ``stall`` (windows per second per replica), ``stall_ms``,
+        ``fail`` (per-batch probability), ``fail_cost``, ``skew``
+        (multiplier), ``skew_replica`` (index, repeatable).
+        """
+        fields: Dict[str, object] = {"seed": seed}
+        skew_replicas: List[int] = []
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            if "=" not in part:
+                raise ConfigError(
+                    f"bad fault spec item {part!r}; expected key=value "
+                    f"with keys {sorted(cls.SPEC_KEYS)}"
+                )
+            key, _, value = part.partition("=")
+            key = key.strip()
+            if key not in cls.SPEC_KEYS:
+                raise ConfigError(
+                    f"unknown fault key {key!r}; expected one of "
+                    f"{sorted(cls.SPEC_KEYS)}"
+                )
+            try:
+                if key == "skew_replica":
+                    skew_replicas.append(int(value))
+                else:
+                    fields[cls.SPEC_KEYS[key]] = float(value)
+            except ValueError:
+                raise ConfigError(
+                    f"bad fault value {value!r} for key {key!r}"
+                ) from None
+        if skew_replicas:
+            fields["skew_replicas"] = tuple(skew_replicas)
+        return cls(**fields)  # type: ignore[arg-type]
+
+
+class _StallStream:
+    """Lazy per-replica stall-window generator.
+
+    Windows are drawn on demand in virtual-time order (gap and duration
+    both exponential), so the stream is a pure function of the seed as
+    long as queries are monotone in time — which the event loop guarantees.
+    """
+
+    def __init__(self, plan: FaultPlan, replica: int):
+        # str seeds hash via sha512: deterministic across runs/platforms.
+        self._rng = random.Random(f"{plan.seed}/stall/{replica}")
+        self._gap_ms = 1000.0 / plan.stall_rate_per_s
+        self._mean_ms = plan.stall_ms
+        self._start = self._rng.expovariate(1.0 / self._gap_ms)
+        self._end = self._start + self._rng.expovariate(1.0 / self._mean_ms)
+        self.windows_seen = 0
+
+    def stalled_until(self, t_ms: float) -> Optional[float]:
+        """End of the stall window covering ``t_ms``, or None when up."""
+        while self._end <= t_ms:
+            self.windows_seen += 1
+            self._start = self._end + self._rng.expovariate(1.0 / self._gap_ms)
+            self._end = self._start + self._rng.expovariate(1.0 / self._mean_ms)
+        if self._start <= t_ms:
+            return self._end
+        return None
+
+
+class FaultInjector:
+    """Runtime-facing view of one :class:`FaultPlan` over N replicas."""
+
+    def __init__(self, plan: FaultPlan, replicas: int):
+        if replicas < 1:
+            raise ConfigError(f"replicas must be >= 1, got {replicas}")
+        self.plan = plan
+        self.replicas = replicas
+        self._stalls: Dict[int, _StallStream] = {}
+        if plan.stall_rate_per_s > 0:
+            self._stalls = {
+                r: _StallStream(plan, r) for r in range(replicas)
+            }
+        skewed = plan.skew_replicas
+        if not skewed and plan.skew_factor != 1.0:
+            skewed = (replicas - 1,)
+        for r in skewed:
+            if not 0 <= r < replicas:
+                raise ConfigError(
+                    f"skew replica {r} out of range for {replicas} replicas"
+                )
+        self._skewed = frozenset(skewed)
+        self.batch_failures = 0
+
+    # ------------------------------------------------------------------ #
+    def stalled_until(self, replica: int, now_ms: float) -> Optional[float]:
+        """If ``replica`` is stalled at ``now_ms``, when it recovers."""
+        stream = self._stalls.get(replica)
+        if stream is None:
+            return None
+        return stream.stalled_until(now_ms)
+
+    def slow_factor(self, replica: int) -> float:
+        """Service-time multiplier of ``replica`` (1.0 = healthy)."""
+        return self.plan.skew_factor if replica in self._skewed else 1.0
+
+    def batch_fails(self, batch_id: int) -> bool:
+        """Deterministic per-dispatch failure draw.
+
+        Keyed by the global batch id (every retry/hedge dispatch gets a
+        fresh id), so the draw does not depend on event interleaving.
+        """
+        if self.plan.fail_rate <= 0:
+            return False
+        draw = random.Random(f"{self.plan.seed}/fail/{batch_id}").random()
+        failed = draw < self.plan.fail_rate
+        if failed:
+            self.batch_failures += 1
+        return failed
+
+    def stalls_for(self, replica: int) -> int:
+        """Stall windows fully elapsed so far on ``replica``."""
+        stream = self._stalls.get(replica)
+        return stream.windows_seen if stream is not None else 0
+
+    @property
+    def stall_windows(self) -> int:
+        """Stall windows fully elapsed so far, across all replicas."""
+        return sum(s.windows_seen for s in self._stalls.values())
+
+
+#: A plan that injects nothing — the default for a healthy cluster.
+NO_FAULTS = FaultPlan()

@@ -27,7 +27,13 @@ def percentile_ms(values: Sequence[float], q: float) -> float:
 
 @dataclasses.dataclass
 class ServingMetrics:
-    """Summary of one serving run."""
+    """Summary of one serving run.
+
+    The cluster fields (``failed`` onward) were added with the
+    fault-tolerant scale-out: retry / hedge / timeout counters, injected
+    fault accounting and a per-replica breakdown rendered by
+    :meth:`cluster_table`.
+    """
 
     requests: int
     completed: int
@@ -51,6 +57,17 @@ class ServingMetrics:
     mean_batch_size: float
     replica_utilization: float
     stage_us_per_request: Dict[str, float]
+    failed: int = 0
+    timed_out: int = 0
+    retries: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    replica_stalls: int = 0
+    batch_failures: int = 0
+    balancer: str = "round_robin"
+    per_replica: List[Dict[str, float]] = dataclasses.field(
+        default_factory=list
+    )
 
     # ------------------------------------------------------------------ #
     def to_table(self) -> str:
@@ -59,6 +76,13 @@ class ServingMetrics:
             ["completed", str(self.completed)],
             ["degraded", str(self.degraded)],
             ["shed", str(self.shed)],
+            ["failed", str(self.failed)],
+            ["timed out", str(self.timed_out)],
+            ["retries", str(self.retries)],
+            ["hedges", f"{self.hedges} ({self.hedge_wins} won)"],
+            ["replica stalls", str(self.replica_stalls)],
+            ["batch failures", str(self.batch_failures)],
+            ["balancer", self.balancer],
             ["deadline misses", str(self.deadline_misses)],
             ["makespan", f"{self.makespan_ms:.1f} ms"],
             ["throughput", f"{self.throughput_rps:.2f} req/s"],
@@ -92,6 +116,29 @@ class ServingMetrics:
             title="per-request stage breakdown (simulated)",
         )
 
+    def cluster_table(self) -> str:
+        """Per-replica utilization / fault summary (the cluster view)."""
+        rows = [
+            [
+                str(int(r["replica"])),
+                str(int(r["batches"])),
+                f"{r['busy_ms']:.1f}",
+                f"{100 * r['utilization']:.1f}%",
+                f"{100 * r['kmap_hit_rate']:.1f}%",
+                str(int(r["stalls"])),
+                str(int(r["failures"])),
+                str(int(r["retries_served"])),
+                str(int(r["hedges_served"])),
+            ]
+            for r in self.per_replica
+        ]
+        return format_table(
+            ["replica", "batches", "busy ms", "util", "kmap hits",
+             "stalls", "failures", "retries", "hedges"],
+            rows,
+            title=f"cluster summary ({self.balancer} balancer)",
+        )
+
     def to_json(self) -> str:
         return json.dumps(dataclasses.asdict(self), indent=2, sort_keys=True)
 
@@ -106,6 +153,10 @@ def compute_metrics(
     replica_busy_ms: float,
     replicas: int,
     stage_us_totals: Optional[Dict[str, float]] = None,
+    replica_stalls: int = 0,
+    batch_failures: int = 0,
+    balancer: str = "round_robin",
+    per_replica: Optional[List[Dict[str, float]]] = None,
 ) -> ServingMetrics:
     """Fold raw run records into a :class:`ServingMetrics`."""
     served = [o for o in outcomes if o.completed]
@@ -122,6 +173,11 @@ def compute_metrics(
     per_request = {
         stage: us / max(len(served), 1) for stage, us in stage_totals.items()
     }
+    replica_rows = []
+    for row in per_replica or []:
+        row = dict(row)
+        row["utilization"] = row["busy_ms"] / makespan if makespan else 0.0
+        replica_rows.append(row)
     return ServingMetrics(
         requests=len(outcomes),
         completed=len(served),
@@ -147,4 +203,15 @@ def compute_metrics(
             replica_busy_ms / (replicas * makespan) if makespan else 0.0
         ),
         stage_us_per_request=per_request,
+        failed=sum(1 for o in outcomes if o.status is RequestStatus.FAILED),
+        timed_out=sum(
+            1 for o in outcomes if o.status is RequestStatus.TIMED_OUT
+        ),
+        retries=sum(max(o.attempts - 1, 0) for o in outcomes),
+        hedges=sum(1 for o in outcomes if o.hedged),
+        hedge_wins=sum(1 for o in outcomes if o.hedge_won),
+        replica_stalls=replica_stalls,
+        batch_failures=batch_failures,
+        balancer=balancer,
+        per_replica=replica_rows,
     )

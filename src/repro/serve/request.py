@@ -23,6 +23,8 @@ class RequestStatus(enum.Enum):
     COMPLETED = "completed"  # served within the normal path
     DEGRADED = "degraded"  # served with the fallback (untuned) config
     SHED = "shed"  # rejected at admission: queue full
+    TIMED_OUT = "timed_out"  # dropped from the queue after timeout_ms
+    FAILED = "failed"  # every attempt failed and retries are exhausted
 
 
 @dataclasses.dataclass(frozen=True)
@@ -65,8 +67,12 @@ class InferenceRequest:
 class RequestOutcome:
     """What happened to one request.
 
-    ``start_ms``/``finish_ms`` are ``None`` for shed requests.  Latency is
-    end-to-end: admission to batch completion, queueing included.
+    ``start_ms``/``finish_ms`` are ``None`` for requests that never ran
+    (shed / timed out in the queue).  Latency is end-to-end: admission to
+    batch completion, queueing and any retry backoff included.
+    ``attempts`` counts dispatches (1 = first try succeeded); ``hedged``
+    marks requests whose batch was duplicated onto a second replica, and
+    ``hedge_won`` marks those the hedge finished first for.
     """
 
     request: InferenceRequest
@@ -79,10 +85,13 @@ class RequestOutcome:
     policy_hit: bool = False
     kmap_hit: bool = False
     service_ms: float = 0.0
+    attempts: int = 1
+    hedged: bool = False
+    hedge_won: bool = False
 
     @property
     def completed(self) -> bool:
-        return self.status is not RequestStatus.SHED
+        return self.status in (RequestStatus.COMPLETED, RequestStatus.DEGRADED)
 
     @property
     def degraded(self) -> bool:

@@ -1,29 +1,42 @@
-"""The serving runtime: a deterministic, simulated-clock inference server.
+"""The serving runtime: a deterministic, simulated-clock inference cluster.
 
 Architecture (one `serve()` call = one serving run):
 
 * a precomputed **request schedule** (from :mod:`repro.serve.arrivals`)
   drives a discrete-event loop — events are request arrivals, device
-  completions and batching-window timers, all on one virtual clock;
+  completions, batching-window timers and retry re-admissions, all on one
+  virtual clock;
 * a bounded :class:`~repro.serve.batcher.RequestQueue` applies admission
-  control (overflowing arrivals are shed), and a
+  control (overflowing arrivals are shed; optionally, queued requests
+  older than ``timeout_ms`` are dropped), and a
   :class:`~repro.serve.batcher.DynamicBatcher` groups queued requests
   under a point budget and deadline window;
-* **N device replicas** (:class:`DeviceReplica`) serve batches; each batch
-  executes the workload's model through an
+* **N device replicas** (:class:`DeviceReplica`) serve batches; a pluggable
+  :class:`~repro.serve.balancer.LoadBalancer` decides which replica a batch
+  lands on (round-robin, least-loaded, join-shortest-queue, or
+  cache-affinity routing onto warm kernel-map state).  Each batch executes
+  the workload's model through an
   :class:`~repro.nn.context.ExecutionContext` in ``simulate_only`` mode,
   and :mod:`repro.gpusim` turns the trace into the batch's service time;
-* a :class:`~repro.serve.cache.PolicyCache` holds tuned
+* a deterministic **fault model** (:mod:`repro.serve.faults`) may stall
+  replicas (they drain in-flight work and rejoin on recovery), fail
+  batches transiently, and skew per-replica speed; failed requests are
+  retried with exponential backoff up to ``max_retries`` and batches
+  predicted to run long can be **hedged** onto a second replica, taking
+  whichever copy finishes first;
+* a cluster-global :class:`~repro.serve.cache.PolicyCache` holds tuned
   :class:`~repro.nn.context.GroupPolicy` objects (pre-warmed from
-  ``python -m repro tune`` output or tuned inline), and a
-  :class:`~repro.serve.cache.KmapCache` reuses kernel-map state across
-  frames of one scene stream;
+  ``python -m repro tune`` output or tuned inline), while each replica
+  owns a private :class:`~repro.serve.cache.KmapCache` — warm map state
+  lives in one device's memory, which is what cache-affinity routing
+  exploits;
 * when the policy cache misses **under deadline pressure** the batch is
   served with the untuned default :class:`LayerConfig` instead of waiting
   for a tuner run — graceful degradation, counted and reported.
 
-Nothing reads a wall clock: a fixed request schedule yields bit-identical
-metrics on every run.
+Nothing reads a wall clock, and every fault decision is a seeded pure
+function of the schedule: a fixed configuration yields bit-identical
+metrics on every run, faults included.
 """
 
 from __future__ import annotations
@@ -38,8 +51,10 @@ from repro.models.registry import Workload, get_workload
 from repro.nn.context import ExecutionContext, FixedPolicy, GroupPolicy, LayerConfig
 from repro.nn.module import Module
 from repro.precision import Precision
+from repro.serve.balancer import BALANCERS, get_balancer
 from repro.serve.batcher import DynamicBatcher, RequestQueue
 from repro.serve.cache import KmapCache, KmapEntry, PolicyCache, PolicyKey
+from repro.serve.faults import NO_FAULTS, FaultInjector, FaultPlan
 from repro.serve.metrics import ServingMetrics, compute_metrics
 from repro.serve.request import InferenceRequest, RequestOutcome, RequestStatus
 from repro.sparse.tensor import SparseTensor
@@ -52,13 +67,18 @@ class ServeConfig:
     Attributes:
         device / precision: the simulated GPU replicas and numeric
             precision every batch runs at.
-        replicas: number of identical device replicas served round-robin
-            (earliest-free-first).
+        replicas: number of identical device replicas.
+        balancer: replica-selection policy; one of
+            :data:`repro.serve.balancer.BALANCERS` (``round_robin``,
+            ``least_loaded``, ``jsq``, ``cache_affinity``).
+        replica_queue_depth: in-flight batches one replica may hold; 1
+            dispatches only to idle replicas, >1 lets load-aware balancers
+            pipeline work behind busy replicas.
         queue_depth: admission-control bound; arrivals past it are shed.
         point_budget / max_batch_requests / batch_window_ms: dynamic
             batching knobs (see :class:`DynamicBatcher`).
-        kmap_cache_size: LRU capacity of the kernel-map reuse cache, in
-            scenes.
+        kmap_cache_size: LRU capacity of each replica's kernel-map reuse
+            cache, in scenes.
         dispatch_overhead_us: fixed host-side cost per batch dispatch
             (scheduler decision, output routing).
         preprocess_us_per_point: per-request voxelization/feature cost,
@@ -76,11 +96,24 @@ class ServeConfig:
             wall-clock knob only (simulated numbers scale with it but
             stay internally consistent; comparisons hold at any scale).
         tune_scenes: sample scenes per inline/warmup tuner run.
+        faults: injected failure model (:class:`FaultPlan`); None serves
+            a healthy cluster.
+        max_retries: re-dispatches granted to a request whose batch fails
+            transiently; past it the request's status is ``FAILED``.
+        retry_backoff_ms: base of the exponential retry backoff — attempt
+            ``k`` waits ``retry_backoff_ms * 2**(k-1)`` after the failure.
+        timeout_ms: drop queued requests older than this (``TIMED_OUT``);
+            0 disables timeouts.  In-flight requests always resolve.
+        hedge_ms: duplicate a batch onto a second replica when its
+            predicted service time exceeds this (tail-latency hedging;
+            the earlier copy wins); 0 disables hedging.
     """
 
     device: str = "a100"
     precision: str = "fp16"
     replicas: int = 1
+    balancer: str = "round_robin"
+    replica_queue_depth: int = 1
     queue_depth: int = 32
     point_budget: int = 400_000
     max_batch_requests: int = 8
@@ -93,10 +126,25 @@ class ServeConfig:
     pressure_fraction: float = 0.5
     scene_scale: float = 0.25
     tune_scenes: int = 1
+    faults: Optional[FaultPlan] = None
+    max_retries: int = 0
+    retry_backoff_ms: float = 5.0
+    timeout_ms: float = 0.0
+    hedge_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
             raise ConfigError(f"replicas must be >= 1, got {self.replicas}")
+        if self.balancer not in BALANCERS:
+            raise ConfigError(
+                f"unknown balancer {self.balancer!r}; known balancers: "
+                f"{', '.join(sorted(BALANCERS))}"
+            )
+        if self.replica_queue_depth < 1:
+            raise ConfigError(
+                f"replica_queue_depth must be >= 1, "
+                f"got {self.replica_queue_depth}"
+            )
         if not 0.0 < self.pressure_fraction <= 1.0:
             raise ConfigError(
                 f"pressure_fraction must be in (0, 1], got {self.pressure_fraction}"
@@ -105,16 +153,43 @@ class ServeConfig:
             raise ConfigError("overheads must be non-negative")
         if self.tune_penalty_ms < 0:
             raise ConfigError("tune_penalty_ms must be non-negative")
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff_ms < 0:
+            raise ConfigError("retry_backoff_ms must be non-negative")
+        if self.timeout_ms < 0 or self.hedge_ms < 0:
+            raise ConfigError("timeout_ms / hedge_ms must be non-negative")
 
 
 @dataclasses.dataclass
 class DeviceReplica:
-    """One simulated device with its own clock."""
+    """One simulated device with its own clock, queue and warm map cache."""
 
     index: int
     spec: DeviceSpec
     busy_ms: float = 0.0
     batches: int = 0
+    inflight: int = 0
+    free_at_ms: float = 0.0
+    kmap_cache: Optional[KmapCache] = None
+    failures: int = 0
+    retries_served: int = 0
+    hedges_served: int = 0
+
+
+@dataclasses.dataclass
+class _Attempt:
+    """One dispatch of a batch onto one replica (primary or hedge copy)."""
+
+    replica: DeviceReplica
+    batch_id: int
+    start_ms: float
+    finish_ms: float
+    service_ms: float
+    failed: bool
+    policy_hit: bool
+    degraded: bool
+    kmap_hits: List[bool]
 
 
 class SceneProvider:
@@ -156,11 +231,14 @@ class ServeResult:
     metrics: ServingMetrics
 
     def describe(self) -> str:
-        return self.metrics.to_table() + "\n\n" + self.metrics.stage_table()
+        parts = [self.metrics.to_table(), self.metrics.stage_table()]
+        if self.metrics.per_replica:
+            parts.append(self.metrics.cluster_table())
+        return "\n\n".join(parts)
 
 
 class ServingRuntime:
-    """Request-driven serving over simulated device replicas."""
+    """Request-driven serving over a cluster of simulated device replicas."""
 
     def __init__(
         self,
@@ -171,7 +249,6 @@ class ServingRuntime:
         self.device = get_device(self.config.device)
         self.precision = Precision.parse(self.config.precision)
         self.policy_cache = policy_cache or PolicyCache()
-        self.kmap_cache = KmapCache(capacity=self.config.kmap_cache_size)
         self.scenes = SceneProvider(scale=self.config.scene_scale)
         self.default_config = LayerConfig()
         self._models: Dict[str, Module] = {}
@@ -249,14 +326,25 @@ class ServingRuntime:
         return FixedPolicy(self.default_config), False, True, 0.0
 
     def _execute(
-        self, batch: Sequence[InferenceRequest], now: float
+        self,
+        batch: Sequence[InferenceRequest],
+        now: float,
+        replica: DeviceReplica,
     ) -> Tuple[float, bool, bool, List[bool], Dict[str, float]]:
-        """Run one batch; returns (service_ms, policy_hit, degraded,
-        per-request kmap hits, stage-breakdown in us)."""
+        """Run one batch on ``replica``; returns (service_ms, policy_hit,
+        degraded, per-request kmap hits, stage-breakdown in us).
+
+        Kernel-map reuse is against *the replica's own* cache: a stream's
+        warm state helps only the replica that built it.
+        """
         workload_id = batch[0].workload_id
         workload = get_workload(workload_id)
         model = self.model(workload_id)
         policy, policy_hit, degraded, extra_ms = self._resolve_policy(batch, now)
+        kmap_cache = replica.kmap_cache
+        if kmap_cache is None:  # replicas built outside serve(): no reuse
+            kmap_cache = KmapCache(capacity=self.config.kmap_cache_size)
+            replica.kmap_cache = kmap_cache
 
         ctx = ExecutionContext(
             device=self.device,
@@ -269,7 +357,7 @@ class ServingRuntime:
         preprocess_us = 0.0
         for request in batch:
             sample = self.scenes.sample(workload, request)
-            entry = self.kmap_cache.get(request.scene_key)
+            entry = kmap_cache.get(request.scene_key)
             hit = entry is not None
             kmap_hits.append(hit)
             if hit:
@@ -277,7 +365,7 @@ class ServingRuntime:
             before = ctx.charged_keys()
             model(sample, ctx)
             if not hit:
-                self.kmap_cache.put(
+                kmap_cache.put(
                     request.scene_key,
                     KmapEntry(
                         sample=sample,
@@ -304,8 +392,15 @@ class ServingRuntime:
         if not requests:
             raise ConfigError("serve() needs at least one request")
         config = self.config
+        balancer = get_balancer(config.balancer)
+        plan = config.faults or NO_FAULTS
+        injector = FaultInjector(plan, config.replicas)
         replicas = [
-            DeviceReplica(index=i, spec=self.device)
+            DeviceReplica(
+                index=i,
+                spec=self.device,
+                kmap_cache=KmapCache(capacity=config.kmap_cache_size),
+            )
             for i in range(config.replicas)
         ]
         queue = RequestQueue(max_depth=config.queue_depth)
@@ -325,63 +420,194 @@ class ServingRuntime:
         )
 
         outcomes: Dict[int, RequestOutcome] = {}
+        attempts: Dict[int, int] = {}
         depth_samples: List[Tuple[float, int]] = []
         stage_totals: Dict[str, float] = {}
-        free: List[int] = list(range(config.replicas))
         events: List[Tuple[float, int, int, object]] = []
+        timer_times: set = set()
         seq = 0
-        ARRIVAL, FREE, TIMER = 0, 1, 2
+        ARRIVAL, FREE, TIMER, RETRY = 0, 1, 2, 3
         for request in sorted(requests, key=lambda r: (r.arrival_ms, r.request_id)):
             heapq.heappush(events, (request.arrival_ms, seq, ARRIVAL, request))
             seq += 1
         arrivals_pending = len(requests)
+        retries_pending = 0
         batch_counter = 0
 
-        def try_dispatch(now: float) -> None:
-            nonlocal seq, batch_counter
-            while (
-                free
-                and queue
-                and batcher.ready(queue, now, more_arrivals=arrivals_pending > 0)
-            ):
-                batch = batcher.form_batch(queue, now)
-                if not batch:
-                    break
-                replica = replicas[free.pop(0)]
-                service_ms, policy_hit, degraded, kmap_hits, stages = (
-                    self._execute(batch, now)
+        def push_event(at: float, kind: int, payload: object) -> None:
+            nonlocal seq
+            heapq.heappush(events, (at, seq, kind, payload))
+            seq += 1
+
+        def push_timer(at: float) -> None:
+            if at not in timer_times:
+                timer_times.add(at)
+                push_event(at, TIMER, None)
+
+        def candidates(now: float) -> Tuple[List[DeviceReplica], Optional[float]]:
+            """Replicas a batch may be dispatched to, and — when all are
+            stalled — the earliest recovery time to retry at."""
+            out: List[DeviceReplica] = []
+            recover: Optional[float] = None
+            for replica in replicas:
+                until = injector.stalled_until(replica.index, now)
+                if until is not None:  # draining: no new work until recovery
+                    recover = until if recover is None else min(recover, until)
+                    continue
+                if replica.inflight >= config.replica_queue_depth:
+                    continue
+                out.append(replica)
+            return out, recover
+
+        def expire_queue(now: float) -> None:
+            if config.timeout_ms <= 0:
+                return
+            for request in queue.expire(now, config.timeout_ms):
+                outcomes[request.request_id] = RequestOutcome(
+                    request=request,
+                    status=RequestStatus.TIMED_OUT,
+                    attempts=attempts.get(request.request_id, 0),
                 )
-                finish = now + service_ms
-                replica.busy_ms += service_ms
-                replica.batches += 1
-                for stage, us in stages.items():
-                    stage_totals[stage] = stage_totals.get(stage, 0.0) + us
-                for request, kmap_hit in zip(batch, kmap_hits):
+
+        def run_attempt(
+            batch: List[InferenceRequest], replica: DeviceReplica, now: float
+        ) -> _Attempt:
+            """Occupy ``replica`` with one copy of ``batch``."""
+            nonlocal batch_counter
+            service_ms, policy_hit, degraded, kmap_hits, stages = (
+                self._execute(batch, now, replica)
+            )
+            service_ms *= injector.slow_factor(replica.index)
+            batch_id = batch_counter
+            batch_counter += 1
+            failed = injector.batch_fails(batch_id)
+            if failed:
+                # The attempt errors out partway through; the replica still
+                # burned a fraction of the batch's service time.
+                service_ms *= plan.fail_cost_fraction
+                replica.failures += 1
+            start = max(now, replica.free_at_ms)
+            finish = start + service_ms
+            replica.free_at_ms = finish
+            replica.busy_ms += service_ms
+            replica.batches += 1
+            replica.inflight += 1
+            replica.retries_served += sum(
+                1 for r in batch if attempts.get(r.request_id, 0) > 1
+            )
+            for stage, us in stages.items():
+                stage_totals[stage] = stage_totals.get(stage, 0.0) + us
+            push_event(finish, FREE, replica.index)
+            return _Attempt(
+                replica=replica,
+                batch_id=batch_id,
+                start_ms=start,
+                finish_ms=finish,
+                service_ms=service_ms,
+                failed=failed,
+                policy_hit=policy_hit,
+                degraded=degraded,
+                kmap_hits=kmap_hits,
+            )
+
+        def dispatch(batch: List[InferenceRequest], now: float) -> None:
+            """Balance, optionally hedge, then resolve or schedule retries."""
+            nonlocal retries_pending
+            for request in batch:
+                attempts[request.request_id] = (
+                    attempts.get(request.request_id, 0) + 1
+                )
+            cands, _ = candidates(now)
+            primary = balancer.select(cands, batch, now)
+            first = run_attempt(batch, primary, now)
+            hedge: Optional[_Attempt] = None
+            if config.hedge_ms > 0 and first.service_ms > config.hedge_ms:
+                spare = [
+                    r for r in cands
+                    if r is not primary
+                    and r.inflight < config.replica_queue_depth
+                ]
+                if spare:
+                    second = min(
+                        spare,
+                        key=lambda r: (
+                            max(r.free_at_ms - now, 0.0), r.busy_ms, r.index
+                        ),
+                    )
+                    hedge = run_attempt(batch, second, now)
+                    second.hedges_served += 1
+
+            tries = [a for a in (first, hedge) if a is not None]
+            winners = [a for a in tries if not a.failed]
+            if winners:
+                winner = min(winners, key=lambda a: (a.finish_ms, a.batch_id))
+                for request, kmap_hit in zip(batch, winner.kmap_hits):
                     outcomes[request.request_id] = RequestOutcome(
                         request=request,
                         status=(
                             RequestStatus.DEGRADED
-                            if degraded
+                            if winner.degraded
                             else RequestStatus.COMPLETED
                         ),
-                        start_ms=now,
-                        finish_ms=finish,
-                        batch_id=batch_counter,
+                        start_ms=winner.start_ms,
+                        finish_ms=winner.finish_ms,
+                        batch_id=winner.batch_id,
                         batch_size=len(batch),
-                        replica=replica.index,
-                        policy_hit=policy_hit,
+                        replica=winner.replica.index,
+                        policy_hit=winner.policy_hit,
                         kmap_hit=kmap_hit,
-                        service_ms=service_ms,
+                        service_ms=winner.service_ms,
+                        attempts=attempts[request.request_id],
+                        hedged=hedge is not None,
+                        hedge_won=hedge is not None and winner is hedge,
                     )
-                batch_counter += 1
+                return
+            # Every copy failed: the error surfaces once the last copy
+            # resolves; retry after exponential backoff, or give up.
+            resolved = max(a.finish_ms for a in tries)
+            last = max(tries, key=lambda a: (a.finish_ms, a.batch_id))
+            for request in batch:
+                tried = attempts[request.request_id]
+                if tried <= config.max_retries:
+                    backoff = config.retry_backoff_ms * (2 ** (tried - 1))
+                    push_event(resolved + backoff, RETRY, request)
+                    retries_pending += 1
+                else:
+                    outcomes[request.request_id] = RequestOutcome(
+                        request=request,
+                        status=RequestStatus.FAILED,
+                        start_ms=last.start_ms,
+                        finish_ms=resolved,
+                        batch_id=last.batch_id,
+                        batch_size=len(batch),
+                        replica=last.replica.index,
+                        service_ms=last.service_ms,
+                        attempts=tried,
+                        hedged=hedge is not None,
+                    )
+
+        def try_dispatch(now: float) -> None:
+            expire_queue(now)
+            while queue:
+                cands, recover = candidates(now)
+                if not cands:
+                    if recover is not None and not any(
+                        r.inflight for r in replicas
+                    ):
+                        push_timer(recover)  # fully stalled: rejoin later
+                    break
+                more = (arrivals_pending + retries_pending) > 0
+                if not batcher.ready(queue, now, more_arrivals=more):
+                    break
+                batch = batcher.form_batch(queue, now)
+                if not batch:
+                    break
+                dispatch(batch, now)
                 depth_samples.append((now, len(queue)))
-                heapq.heappush(events, (finish, seq, FREE, replica.index))
-                seq += 1
-            if free and queue and arrivals_pending > 0:
+            if queue and (arrivals_pending + retries_pending) > 0:
                 decision = batcher.next_decision_ms(queue)
                 if decision is not None and decision > now:
-                    heapq.heappush(events, (decision, seq, TIMER, None))
-                    seq += 1
+                    push_timer(decision)
 
         while events:
             now, _, kind, payload = heapq.heappop(events)
@@ -390,24 +616,57 @@ class ServingRuntime:
                 request = payload
                 if not queue.admit(request):
                     outcomes[request.request_id] = RequestOutcome(
-                        request=request, status=RequestStatus.SHED
+                        request=request, status=RequestStatus.SHED, attempts=0
                     )
                 depth_samples.append((now, len(queue)))
             elif kind == FREE:
-                free.append(payload)
-                free.sort()
+                replicas[payload].inflight -= 1
+            elif kind == RETRY:
+                retries_pending -= 1
+                request = payload
+                if (
+                    config.timeout_ms > 0
+                    and now - request.arrival_ms >= config.timeout_ms
+                ):
+                    outcomes[request.request_id] = RequestOutcome(
+                        request=request,
+                        status=RequestStatus.TIMED_OUT,
+                        attempts=attempts.get(request.request_id, 0),
+                    )
+                else:
+                    queue.requeue(request)
+                depth_samples.append((now, len(queue)))
             try_dispatch(now)
 
         ordered = [outcomes[r.request_id] for r in requests]
+        kmap_hits = sum(r.kmap_cache.hits for r in replicas)
+        kmap_total = kmap_hits + sum(r.kmap_cache.misses for r in replicas)
+        per_replica = [
+            {
+                "replica": float(r.index),
+                "batches": float(r.batches),
+                "busy_ms": r.busy_ms,
+                "kmap_hit_rate": r.kmap_cache.hit_rate,
+                "stalls": float(injector.stalls_for(r.index)),
+                "failures": float(r.failures),
+                "retries_served": float(r.retries_served),
+                "hedges_served": float(r.hedges_served),
+            }
+            for r in replicas
+        ]
         metrics = compute_metrics(
             ordered,
             depth_samples,
             policy_hit_rate=self.policy_cache.hit_rate,
-            kmap_hit_rate=self.kmap_cache.hit_rate,
-            kmap_evictions=self.kmap_cache.evictions,
+            kmap_hit_rate=kmap_hits / kmap_total if kmap_total else 0.0,
+            kmap_evictions=sum(r.kmap_cache.evictions for r in replicas),
             batches=batch_counter,
             replica_busy_ms=sum(r.busy_ms for r in replicas),
             replicas=config.replicas,
             stage_us_totals=stage_totals,
+            replica_stalls=injector.stall_windows,
+            batch_failures=injector.batch_failures,
+            balancer=config.balancer,
+            per_replica=per_replica,
         )
         return ServeResult(config=config, outcomes=ordered, metrics=metrics)

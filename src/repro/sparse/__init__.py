@@ -15,7 +15,7 @@ the compute kernels:
 * :mod:`repro.sparse.tensor` — the user-facing :class:`SparseTensor`.
 """
 
-from repro.sparse.coords import pack_coords, unique_coords
+from repro.sparse.coords import pack_coords, unique_coords, unpack_coords
 from repro.sparse.hashmap import CoordinateHashMap
 from repro.sparse.kernel_offsets import kernel_offsets, kernel_volume
 from repro.sparse.kmap import KernelMap, build_kernel_map
@@ -32,6 +32,7 @@ from repro.sparse.tensor import SparseTensor
 __all__ = [
     "pack_coords",
     "unique_coords",
+    "unpack_coords",
     "CoordinateHashMap",
     "kernel_offsets",
     "kernel_volume",

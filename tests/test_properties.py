@@ -1,0 +1,299 @@
+"""Property-based invariants of the sparse primitives.
+
+These tests generate randomized inputs with seeded :class:`random.Random`
+instances (no extra dependencies) and check the algebraic properties the
+rest of the stack silently relies on: kernel-map symmetry and identity
+structure, hash-table round trips, bitmask sort stability, and quantizer
+idempotence.  Each property runs across a spread of seeds and sizes, so a
+regression in any primitive trips dozens of independently generated cases.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import (
+    CoordinateHashMap,
+    KernelMap,
+    build_kernel_map,
+    pack_coords,
+    sparse_quantize,
+    unique_coords,
+    unpack_coords,
+)
+from repro.sparse.bitmask import (
+    MaskReordering,
+    compute_bitmasks,
+    sort_bitmasks,
+    split_offsets,
+    warp_mac_slots,
+)
+from repro.sparse.kernel_offsets import identity_offset_index, kernel_volume
+
+SEEDS = list(range(8))
+
+
+def random_coords(rng, count, span=24, ndim=3, batch=0):
+    """Unique int32 coordinates drawn from a ``span``-wide grid."""
+    cells = set()
+    while len(cells) < count:
+        cells.add(tuple(rng.randrange(-span, span) for _ in range(ndim)))
+    rows = [(batch,) + cell for cell in sorted(cells)]
+    rng.shuffle(rows)
+    return np.asarray(rows, dtype=np.int32)
+
+
+def pairs_as_set(kmap):
+    """The kernel map as a set of ``(offset, input, output)`` triples."""
+    return {
+        (k, int(i), int(o))
+        for k, (in_idx, out_idx) in enumerate(kmap.pairs())
+        for i, o in zip(in_idx, out_idx)
+    }
+
+
+class TestKernelMapInvariants:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_submanifold_outputs_are_inputs(self, seed):
+        rng = random.Random(seed)
+        coords = random_coords(rng, rng.randrange(8, 64))
+        kmap = build_kernel_map(coords, kernel_size=3, stride=1)
+        np.testing.assert_array_equal(kmap.out_coords, coords)
+        # The centre offset maps every output to itself.
+        centre = identity_offset_index(3, ndim=3)
+        np.testing.assert_array_equal(
+            kmap.nbmap[:, centre], np.arange(len(coords))
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("kernel_size,stride", [(3, 1), (2, 2), (3, 2)])
+    def test_nbmap_indices_in_range(self, seed, kernel_size, stride):
+        rng = random.Random(100 * seed + kernel_size)
+        coords = random_coords(rng, rng.randrange(8, 48))
+        kmap = build_kernel_map(coords, kernel_size, stride=stride)
+        assert kmap.nbmap.shape == (
+            kmap.num_outputs, kernel_volume(kernel_size, 3)
+        )
+        assert kmap.nbmap.min() >= -1
+        assert kmap.nbmap.max() < kmap.num_inputs
+        assert kmap.total_pairs == int((kmap.nbmap >= 0).sum())
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_strided_outputs_live_on_coarse_grid(self, seed):
+        rng = random.Random(seed + 31)
+        coords = random_coords(rng, rng.randrange(8, 48))
+        kmap = build_kernel_map(coords, kernel_size=2, stride=2)
+        spatial = kmap.out_coords[:, 1:]
+        assert np.all(spatial % 2 == 0)
+        # Every output cell is occupied by at least one input point.
+        floored = coords.copy()
+        floored[:, 1:] = (coords[:, 1:] // 2) * 2
+        occupied = {tuple(row) for row in floored.tolist()}
+        for row in kmap.out_coords.tolist():
+            assert tuple(row) in occupied
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_transpose_swaps_pairs_exactly(self, seed):
+        rng = random.Random(seed + 57)
+        coords = random_coords(rng, rng.randrange(8, 48))
+        kmap = build_kernel_map(coords, kernel_size=2, stride=2)
+        transposed = kmap.transposed()
+        assert transposed.num_inputs == kmap.num_outputs
+        assert transposed.num_outputs == kmap.num_inputs
+        assert transposed.total_pairs == kmap.total_pairs
+        swapped = {(k, o, i) for (k, i, o) in pairs_as_set(kmap)}
+        assert pairs_as_set(transposed) == swapped
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_double_transpose_is_identity(self, seed):
+        rng = random.Random(seed + 83)
+        coords = random_coords(rng, rng.randrange(8, 48))
+        kmap = build_kernel_map(coords, kernel_size=3, stride=2)
+        back = kmap.transposed().transposed()
+        assert isinstance(back, KernelMap)
+        np.testing.assert_array_equal(back.nbmap, kmap.nbmap)
+        np.testing.assert_array_equal(back.offsets, kmap.offsets)
+        np.testing.assert_array_equal(back.out_coords, kmap.out_coords)
+        assert back.key == kmap.key
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_neighbour_relation_is_mirror_symmetric(self, seed):
+        # For a submanifold map: q is p's neighbour at offset d exactly
+        # when p is q's neighbour at offset -d.
+        rng = random.Random(seed + 101)
+        coords = random_coords(rng, rng.randrange(8, 40))
+        kmap = build_kernel_map(coords, kernel_size=3, stride=1)
+        offsets = [tuple(o) for o in kmap.offsets.tolist()]
+        mirror = {k: offsets.index(tuple(-c for c in o))
+                  for k, o in enumerate(offsets)}
+        triples = pairs_as_set(kmap)
+        assert {(mirror[k], o, i) for (k, i, o) in triples} == triples
+
+
+class TestHashMapRoundTrips:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_inserted_keys_query_back_their_rows(self, seed):
+        rng = random.Random(seed + 7)
+        coords = random_coords(rng, rng.randrange(4, 128), span=200)
+        table = CoordinateHashMap(pack_coords(coords))
+        assert len(table) == len(coords)
+        values = table.query(pack_coords(coords))
+        np.testing.assert_array_equal(values, np.arange(len(coords)))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_query_respects_permutation(self, seed):
+        rng = random.Random(seed + 13)
+        coords = random_coords(rng, rng.randrange(4, 96), span=200)
+        table = CoordinateHashMap(pack_coords(coords))
+        perm = list(range(len(coords)))
+        rng.shuffle(perm)
+        values = table.query(pack_coords(coords[perm]))
+        np.testing.assert_array_equal(values, np.asarray(perm))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_missing_keys_return_minus_one(self, seed):
+        rng = random.Random(seed + 19)
+        inside = random_coords(rng, 32, span=20)
+        outside = random_coords(rng, 32, span=20, batch=1)  # disjoint batch
+        table = CoordinateHashMap(pack_coords(inside))
+        np.testing.assert_array_equal(
+            table.query(pack_coords(outside)), np.full(32, -1)
+        )
+        mixed = np.concatenate([inside[:4], outside[:4]])
+        values = table.query(pack_coords(mixed))
+        assert np.all(values[:4] >= 0) and np.all(values[4:] == -1)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_pack_unpack_round_trip(self, seed):
+        rng = random.Random(seed + 29)
+        coords = random_coords(rng, 64, span=30_000, batch=rng.randrange(4))
+        np.testing.assert_array_equal(
+            unpack_coords(pack_coords(coords), 3), coords
+        )
+
+    def test_pack_rejects_out_of_range(self):
+        with pytest.raises(ShapeError):
+            pack_coords(np.array([[0, 40_000, 0, 0]], dtype=np.int64))
+        with pytest.raises(ShapeError):
+            pack_coords(np.array([[-1, 0, 0, 0]], dtype=np.int64))
+
+
+class TestBitmaskSorting:
+    @staticmethod
+    def random_masks(rng, rows, cols):
+        return np.asarray(
+            [[rng.random() < 0.5 for _ in range(cols)] for _ in range(rows)],
+            dtype=bool,
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sort_is_descending_and_a_permutation(self, seed):
+        rng = random.Random(seed + 37)
+        masks = self.random_masks(rng, rng.randrange(2, 64), rng.randrange(1, 9))
+        order = sort_bitmasks(masks)
+        assert sorted(order.tolist()) == list(range(len(masks)))
+        weights = 1 << np.arange(masks.shape[1] - 1, -1, -1)
+        numbers = masks[order] @ weights
+        assert np.all(np.diff(numbers) <= 0)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sort_is_stable_for_equal_rows(self, seed):
+        rng = random.Random(seed + 41)
+        # Few distinct patterns over many rows forces plenty of ties.
+        patterns = self.random_masks(rng, 3, 6)
+        picks = [rng.randrange(3) for _ in range(40)]
+        masks = patterns[picks]
+        order = sort_bitmasks(masks)
+        for pattern_id in range(3):
+            positions = [i for i in order.tolist() if picks[i] == pattern_id]
+            assert positions == sorted(positions)
+
+    @pytest.mark.parametrize("volume,splits", [(27, 1), (27, 3), (8, 4), (5, 5)])
+    def test_split_offsets_partition_the_volume(self, volume, splits):
+        segments = split_offsets(volume, splits)
+        assert len(segments) == splits
+        flat = np.concatenate(segments)
+        np.testing.assert_array_equal(flat, np.arange(volume))
+        sizes = [len(s) for s in segments]
+        assert max(sizes) - min(sizes) <= 1
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_reordering_preserves_rows_and_never_adds_macs(self, seed):
+        rng = random.Random(seed + 43)
+        coords = random_coords(rng, rng.randrange(16, 48))
+        nbmap = build_kernel_map(coords, kernel_size=3, stride=1).nbmap
+        plan = MaskReordering.build(nbmap, num_splits=3, sort=True)
+        for segment, submap in zip(plan.segments, plan.reordered_submaps(nbmap)):
+            original = nbmap[:, segment]
+            assert sorted(map(tuple, submap.tolist())) == sorted(
+                map(tuple, original.tolist())
+            )
+        # Sorting reorders rows only: effective MACs are unchanged and the
+        # warp-granular issued slots can only shrink.
+        masks = compute_bitmasks(nbmap)
+        effective, issued = warp_mac_slots(masks, warp_rows=4)
+        sorted_eff, sorted_issued = warp_mac_slots(
+            masks[sort_bitmasks(masks)], warp_rows=4
+        )
+        assert sorted_eff == effective
+        assert sorted_issued <= issued
+
+
+class TestQuantizeProperties:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_quantize_is_idempotent(self, seed):
+        rng = random.Random(seed + 47)
+        points = np.asarray(
+            [[rng.uniform(-8, 8) for _ in range(3)] for _ in range(200)]
+        )
+        coords, _ = sparse_quantize(points, voxel_size=0.5)
+        again, _ = sparse_quantize(coords[:, 1:].astype(np.float64), 1.0)
+        np.testing.assert_array_equal(again, coords)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_quantize_output_is_unique_and_covers_inputs(self, seed):
+        rng = random.Random(seed + 53)
+        points = np.asarray(
+            [[rng.uniform(-4, 4) for _ in range(3)] for _ in range(150)]
+        )
+        coords, _ = sparse_quantize(points, voxel_size=0.25)
+        deduped, _ = unique_coords(coords)
+        assert len(deduped) == len(coords)
+        voxels = {tuple(v) for v in (points // 0.25).astype(np.int64).tolist()}
+        assert {tuple(c[1:]) for c in coords.tolist()} == voxels
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_reduce_first_keeps_first_point_per_voxel(self, seed):
+        rng = random.Random(seed + 59)
+        points = np.asarray(
+            [[rng.uniform(0, 2) for _ in range(3)] for _ in range(80)]
+        )
+        feats = np.arange(80, dtype=np.float32).reshape(-1, 1)
+        coords, reduced = sparse_quantize(points, 1.0, features=feats)
+        voxel_of = (points // 1.0).astype(np.int64)
+        for row, value in zip(coords.tolist(), reduced[:, 0].tolist()):
+            first = next(
+                i for i in range(80) if tuple(voxel_of[i]) == tuple(row[1:])
+            )
+            assert value == float(first)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_reduce_mean_averages_features(self, seed):
+        rng = random.Random(seed + 61)
+        points = np.asarray(
+            [[rng.uniform(0, 2) for _ in range(3)] for _ in range(60)]
+        )
+        feats = np.asarray(
+            [[rng.uniform(-1, 1)] for _ in range(60)], dtype=np.float64
+        )
+        coords, reduced = sparse_quantize(points, 1.0, features=feats,
+                                          reduce="mean")
+        voxel_of = (points // 1.0).astype(np.int64)
+        for row, value in zip(coords.tolist(), reduced[:, 0].tolist()):
+            members = [
+                feats[i, 0] for i in range(60)
+                if tuple(voxel_of[i]) == tuple(row[1:])
+            ]
+            assert value == pytest.approx(sum(members) / len(members))
