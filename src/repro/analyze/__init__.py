@@ -1,0 +1,141 @@
+"""Static analysis for sparse-convolution models (``python -m repro lint``).
+
+Three layers:
+
+* :mod:`repro.analyze.ir` / :mod:`repro.analyze.propagate` — a static IR
+  extracted by symbolic propagation of coordinate stride, channel counts
+  and kernel-map scope through the model graph, without executing data;
+* :mod:`repro.analyze.rules` — a pluggable lint-rule registry
+  (severities info/warning/error) over that IR;
+* :mod:`repro.analyze.tracecheck` — conservation invariants and a scatter
+  write-race detector over :class:`~repro.gpusim.trace.KernelTrace`
+  streams.
+
+:func:`lint_model` / :func:`lint_workload` are the high-level entry points
+used by the CLI, CI, and the serving runtime's admission controller.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.analyze.ir import (
+    ChannelMismatch,
+    IRNode,
+    JoinEvent,
+    MapEvent,
+    ModelIR,
+    SymbolicTensor,
+)
+from repro.analyze.propagate import (
+    HANDLERS,
+    SymbolicTracer,
+    register_handler,
+    trace_model,
+)
+from repro.analyze.rules import (
+    RULES,
+    Finding,
+    LintContext,
+    Severity,
+    lint_rule,
+    max_severity,
+    run_rules,
+)
+from repro.analyze.tracecheck import (
+    TraceViolation,
+    assert_trace_ok,
+    check_conv_trace,
+    check_scatter_races,
+    check_trace,
+    scatter_conflicts,
+)
+from repro.hw.specs import DeviceSpec
+from repro.nn.module import Module
+from repro.precision import Precision
+
+
+def analyze_model(
+    model: Module, in_channels: int, ndim: int = 3
+) -> ModelIR:
+    """Build the static IR of ``model`` (alias of :func:`trace_model`)."""
+    return trace_model(model, in_channels=in_channels, ndim=ndim)
+
+
+def lint_model(
+    model: Module,
+    *,
+    in_channels: int,
+    device: "DeviceSpec | str" = "a100",
+    precision: "Precision | str" = Precision.FP16,
+    policy: Optional[Any] = None,
+    ndim: int = 3,
+    rules: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Statically lint one model for a deployment target.
+
+    Returns findings sorted most severe first (empty list = clean).
+    """
+    from repro.hw import get_device
+
+    ir = trace_model(model, in_channels=in_channels, ndim=ndim)
+    ctx = LintContext(
+        ir=ir,
+        device=get_device(device),
+        precision=Precision.parse(precision),
+        policy=policy,
+    )
+    return run_rules(ctx, rules=rules)
+
+
+def lint_workload(
+    workload_id: str,
+    *,
+    device: "DeviceSpec | str" = "a100",
+    precision: "Precision | str" = Precision.FP16,
+    policy: Optional[Any] = None,
+    rules: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint a bundled workload's model with its dataset's input channels."""
+    from repro.models import get_workload
+
+    workload = get_workload(workload_id)
+    model = workload.build_model()
+    return lint_model(
+        model,
+        in_channels=workload.dataset_config.in_channels,
+        device=device,
+        precision=precision,
+        policy=policy,
+        rules=rules,
+    )
+
+
+__all__ = [
+    "ChannelMismatch",
+    "Finding",
+    "HANDLERS",
+    "IRNode",
+    "JoinEvent",
+    "LintContext",
+    "MapEvent",
+    "ModelIR",
+    "RULES",
+    "Severity",
+    "SymbolicTensor",
+    "SymbolicTracer",
+    "TraceViolation",
+    "analyze_model",
+    "assert_trace_ok",
+    "check_conv_trace",
+    "check_scatter_races",
+    "check_trace",
+    "lint_model",
+    "lint_rule",
+    "lint_workload",
+    "max_severity",
+    "register_handler",
+    "run_rules",
+    "scatter_conflicts",
+    "trace_model",
+]

@@ -1,0 +1,454 @@
+"""Pluggable lint rules over the static model IR.
+
+Each rule is a function from a :class:`LintContext` to a list of
+:class:`Finding`s, registered with the :func:`lint_rule` decorator.  Rules
+never raise on bad models — they *report*; the CLI and the serving
+admission controller decide what severity is fatal.
+
+The built-in catalogue covers the statically decidable hazard classes of
+the TorchSparse++ design space:
+
+* ``stride-mismatch`` — join/skip operands on different coordinate strides;
+* ``missing-forward-map`` — a transposed convolution whose matching
+  downsample map is not in scope (a guaranteed ``MapError`` at runtime);
+* ``channel-mismatch`` — layer fed a width it was not built for;
+* ``tile-alignment`` — channel counts that pad badly against the 16-wide
+  tensor-core tile granule, with the estimated padding-waste percentage
+  (Figure 21);
+* ``dataflow-precision`` — precision/schedule combinations that silently
+  fall off the tensor-core path (e.g. FP32 on a tensor-core schedule);
+* ``kmap-reuse`` — identical kernel-map keys built more than once because
+  cache lineage was broken (missed ``MapCache`` reuse);
+* ``dead-submodule`` — registered submodules the forward walk never
+  reaches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.analyze.ir import ModelIR
+from repro.hw.specs import DeviceSpec
+from repro.nn.context import LayerConfig, Role
+from repro.precision import Precision
+
+#: Tensor-core tile granule along the channel dimensions (Figure 21: GEMM
+#: tiles pad M/N/K to multiples of 16; misaligned channels waste the pad).
+TILE_GRANULE = 16
+
+#: Padding waste at or above this fraction is a warning (below: info).
+WASTE_WARNING_THRESHOLD = 0.05
+
+
+class Severity(enum.Enum):
+    """Lint finding severity, ordered info < warning < error."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return {"info": 0, "warning": 1, "error": 2}[self.value]
+
+    @classmethod
+    def parse(cls, name: "str | Severity") -> "Severity":
+        if isinstance(name, Severity):
+            return name
+        try:
+            return cls(name.lower())
+        except ValueError:
+            valid = [s.value for s in cls]
+            raise ValueError(
+                f"unknown severity {name!r}; expected one of {valid}"
+            ) from None
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One lint finding: what rule fired, where, and how bad."""
+
+    rule: str
+    severity: Severity
+    path: str
+    message: str
+    data: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "message": self.message,
+            "data": dict(self.data),
+        }
+
+    def format(self) -> str:
+        return f"{self.severity.value:>7}  {self.rule:<20} {self.path}: {self.message}"
+
+
+@dataclasses.dataclass
+class LintContext:
+    """Everything a rule may inspect: the IR plus the deployment target."""
+
+    ir: ModelIR
+    device: DeviceSpec
+    precision: Precision
+    #: Optional tuned policy (``FixedPolicy``/``GroupPolicy``); ``None``
+    #: means the default layer configuration for every signature group.
+    policy: Optional[Any] = None
+
+    def layer_config(self, signature: Any) -> LayerConfig:
+        if self.policy is None:
+            return LayerConfig()
+        return self.policy.config(signature, Role.FORWARD)
+
+
+RuleFunc = Callable[[LintContext], List[Finding]]
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    name: str
+    description: str
+    func: RuleFunc
+
+
+#: Rule name -> rule, in registration order.
+RULES: Dict[str, Rule] = {}
+
+
+def lint_rule(
+    name: str, description: str
+) -> Callable[[RuleFunc], RuleFunc]:
+    """Register a lint pass under ``name``."""
+
+    def decorator(func: RuleFunc) -> RuleFunc:
+        RULES[name] = Rule(name=name, description=description, func=func)
+        return func
+
+    return decorator
+
+
+def run_rules(
+    ctx: LintContext, rules: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Run the selected rules (default: all) and return findings sorted
+    most severe first."""
+    names = list(rules) if rules is not None else list(RULES)
+    unknown = [n for n in names if n not in RULES]
+    if unknown:
+        raise ValueError(
+            f"unknown lint rule(s) {unknown}; have {sorted(RULES)}"
+        )
+    findings: List[Finding] = []
+    for name in names:
+        findings.extend(RULES[name].func(ctx))
+    findings.sort(key=lambda f: (-f.severity.rank, f.rule, f.path))
+    return findings
+
+
+def max_severity(findings: Sequence[Finding]) -> Optional[Severity]:
+    if not findings:
+        return None
+    return max((f.severity for f in findings), key=lambda s: s.rank)
+
+
+# ---------------------------------------------------------------------- #
+# Built-in rules
+# ---------------------------------------------------------------------- #
+@lint_rule(
+    "stride-mismatch",
+    "join/skip operands must live on the same coordinate stride",
+)
+def _rule_stride_mismatch(ctx: LintContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for join in ctx.ir.joins:
+        if join.left_stride != join.right_stride:
+            findings.append(
+                Finding(
+                    rule="stride-mismatch",
+                    severity=Severity.ERROR,
+                    path=join.path,
+                    message=(
+                        f"{join.kind} joins tensors on different coordinate "
+                        f"strides {join.left_stride} vs {join.right_stride}; "
+                        f"the operands index different coordinate sets"
+                    ),
+                    data={
+                        "kind": join.kind,
+                        "left_stride": list(join.left_stride),
+                        "right_stride": list(join.right_stride),
+                    },
+                )
+            )
+    return findings
+
+
+@lint_rule(
+    "missing-forward-map",
+    "transposed convolutions need the matching downsample map in scope",
+)
+def _rule_missing_forward_map(ctx: LintContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for event in ctx.ir.map_events:
+        if event.event == "missing_forward_map":
+            stride, kernel, conv_stride, _ = event.key
+            findings.append(
+                Finding(
+                    rule="missing-forward-map",
+                    severity=Severity.ERROR,
+                    path=event.path,
+                    message=(
+                        f"transposed convolution (stride {stride}, kernel "
+                        f"{kernel}, upsample {conv_stride}) has no matching "
+                        f"forward map in its cache scope; this raises "
+                        f"MapError at runtime — run the matching downsample "
+                        f"first or share the map cache"
+                    ),
+                    data={"key": repr(event.key)},
+                )
+            )
+        elif event.event == "bad_upsample":
+            stride, _, conv_stride, _ = event.key
+            findings.append(
+                Finding(
+                    rule="missing-forward-map",
+                    severity=Severity.ERROR,
+                    path=event.path,
+                    message=(
+                        f"cannot upsample tensor stride {stride} by "
+                        f"{conv_stride}: stride is not divisible"
+                    ),
+                    data={"key": repr(event.key)},
+                )
+            )
+    return findings
+
+
+@lint_rule(
+    "channel-mismatch",
+    "layers must receive the channel width they were built for",
+)
+def _rule_channel_mismatch(ctx: LintContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for mismatch in ctx.ir.channel_mismatches:
+        findings.append(
+            Finding(
+                rule="channel-mismatch",
+                severity=Severity.ERROR,
+                path=mismatch.path,
+                message=(
+                    f"layer expects {mismatch.expected} input channels but "
+                    f"receives {mismatch.got}"
+                ),
+                data={"expected": mismatch.expected, "got": mismatch.got},
+            )
+        )
+    for join in ctx.ir.joins:
+        if (
+            join.kind == "residual_add"
+            and join.left_channels != join.right_channels
+        ):
+            findings.append(
+                Finding(
+                    rule="channel-mismatch",
+                    severity=Severity.ERROR,
+                    path=join.path,
+                    message=(
+                        f"residual add joins {join.left_channels} with "
+                        f"{join.right_channels} channels"
+                    ),
+                    data={
+                        "left": join.left_channels,
+                        "right": join.right_channels,
+                    },
+                )
+            )
+    return findings
+
+
+def _padding_waste(channels: int, granule: int = TILE_GRANULE) -> float:
+    padded = math.ceil(channels / granule) * granule
+    return (padded - channels) / padded
+
+
+@lint_rule(
+    "tile-alignment",
+    "channel counts should fill 16-wide tensor-core tiles (Figure 21)",
+)
+def _rule_tile_alignment(ctx: LintContext) -> List[Finding]:
+    if (
+        ctx.device.fp16_tensor_tflops is None
+        and ctx.device.tf32_tensor_tflops is None
+    ):
+        return []  # no tensor cores on this device
+    findings: List[Finding] = []
+    seen = set()
+    for node in ctx.ir.conv_nodes():
+        if not ctx.layer_config(node.signature).tensor_cores:
+            continue
+        sides = []
+        if node.in_channels is not None:
+            sides.append(("in_channels", node.in_channels, "input"))
+        if node.out_channels is not None:
+            sides.append(("out_channels", node.out_channels, "output"))
+        for side, channels, fixed_when in sides:
+            waste = _padding_waste(channels)
+            if waste <= 0.0:
+                continue
+            key = (node.path, side)
+            if key in seen:
+                continue
+            seen.add(key)
+            # Network-boundary widths (dataset features, class counts) are
+            # fixed by the task, not the architect: never above info.
+            boundary = fixed_when in node.boundary.split("+") if node.boundary else False
+            if boundary:
+                severity = Severity.INFO
+            elif waste >= WASTE_WARNING_THRESHOLD:
+                severity = Severity.WARNING
+            else:
+                severity = Severity.INFO
+            padded = math.ceil(channels / TILE_GRANULE) * TILE_GRANULE
+            findings.append(
+                Finding(
+                    rule="tile-alignment",
+                    severity=severity,
+                    path=node.path,
+                    message=(
+                        f"{side}={channels} pads to {padded} on the "
+                        f"{TILE_GRANULE}-wide tensor-core tile: "
+                        f"{100 * waste:.1f}% of the tile MACs are padding "
+                        f"waste (Figure 21)"
+                        + (
+                            "; width is fixed by the dataset/task"
+                            if boundary
+                            else ""
+                        )
+                    ),
+                    data={
+                        "side": side,
+                        "channels": channels,
+                        "padded": padded,
+                        "waste_pct": round(100 * waste, 2),
+                        "boundary": boundary,
+                    },
+                )
+            )
+    return findings
+
+
+@lint_rule(
+    "dataflow-precision",
+    "precision must match the configured compute path",
+)
+def _rule_dataflow_precision(ctx: LintContext) -> List[Finding]:
+    findings: List[Finding] = []
+    has_fp16_tc = ctx.device.fp16_tensor_tflops is not None
+    has_tf32_tc = ctx.device.tf32_tensor_tflops is not None
+    for signature, group in sorted(
+        ctx.ir.signature_groups().items(), key=lambda kv: kv[1][0].path
+    ):
+        config = ctx.layer_config(signature)
+        if not config.tensor_cores:
+            continue
+        path = group[0].path
+        layers = f"{len(group)} layer(s) in group"
+        if ctx.precision is Precision.FP32 and (has_fp16_tc or has_tf32_tc):
+            findings.append(
+                Finding(
+                    rule="dataflow-precision",
+                    severity=Severity.WARNING,
+                    path=path,
+                    message=(
+                        f"FP32 cannot execute on {ctx.device.name} tensor "
+                        f"cores; the tensor-core schedule silently falls "
+                        f"back to CUDA cores "
+                        f"({ctx.device.tensor_to_cuda_ratio:.1f}x slower "
+                        f"peak) — use fp16/tf32 or set tensor_cores=False "
+                        f"({layers})"
+                    ),
+                    data={"signature": repr(signature), "group": len(group)},
+                )
+            )
+        elif ctx.precision is Precision.TF32 and not has_tf32_tc:
+            findings.append(
+                Finding(
+                    rule="dataflow-precision",
+                    severity=Severity.WARNING,
+                    path=path,
+                    message=(
+                        f"{ctx.device.name} has no TF32 tensor path; TF32 "
+                        f"runs as FP32 on CUDA cores ({layers})"
+                    ),
+                    data={"signature": repr(signature), "group": len(group)},
+                )
+            )
+        elif not has_fp16_tc and not has_tf32_tc:
+            findings.append(
+                Finding(
+                    rule="dataflow-precision",
+                    severity=Severity.INFO,
+                    path=path,
+                    message=(
+                        f"tensor cores requested but {ctx.device.name} has "
+                        f"none; schedule runs on CUDA cores ({layers})"
+                    ),
+                    data={"signature": repr(signature), "group": len(group)},
+                )
+            )
+    return findings
+
+
+@lint_rule(
+    "kmap-reuse",
+    "identical kernel maps should be built once and reused (MapCache)",
+)
+def _rule_kmap_reuse(ctx: LintContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for key, builds in sorted(ctx.ir.map_builds().items(), key=lambda kv: kv[1][0].path):
+        if len(builds) < 2:
+            continue
+        stride, kernel, conv_stride, _ = key
+        paths = [b.path for b in builds]
+        findings.append(
+            Finding(
+                rule="kmap-reuse",
+                severity=Severity.WARNING,
+                path=paths[0],
+                message=(
+                    f"kernel map (stride {stride}, kernel {kernel}, conv "
+                    f"stride {conv_stride}) is built {len(builds)} times in "
+                    f"separate cache scopes ({', '.join(paths[1:])} rebuild "
+                    f"it); share one MapCache to pay the hash build once"
+                ),
+                data={"key": repr(key), "builds": paths},
+            )
+        )
+    return findings
+
+
+@lint_rule(
+    "dead-submodule",
+    "registered submodules the forward walk never executes",
+)
+def _rule_dead_submodule(ctx: LintContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for path in ctx.ir.unvisited_paths:
+        findings.append(
+            Finding(
+                rule="dead-submodule",
+                severity=Severity.WARNING,
+                path=path,
+                message=(
+                    "submodule is registered (its parameters are trained "
+                    "and checkpointed) but never reached by forward"
+                ),
+                data={},
+            )
+        )
+    return findings

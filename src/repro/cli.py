@@ -11,10 +11,17 @@ Commands:
   policy to JSON;
 * ``serve-bench`` — drive the serving runtime with a synthetic request
   stream and report throughput / tail latency / cache hit rates;
+* ``dataflows`` — list the registered sparse convolution dataflows;
+* ``lint`` — statically analyze a model (bundled workload or
+  ``module:factory`` import spec) for stride/channel/map/precision
+  hazards without running it;
 * ``experiments`` — alias of ``python -m repro.experiments``.
 
-Unknown device / engine / workload / precision names exit with status 2
-and a message listing the valid choices (no traceback).
+Exit codes: 0 on success (for ``lint``: no finding at or above
+``--fail-on``); 1 when ``lint`` reports findings at or above the
+``--fail-on`` severity; 2 on usage errors — unknown device / engine /
+workload / precision / rule names exit with a message listing the valid
+choices (no traceback).
 """
 
 from __future__ import annotations
@@ -81,6 +88,109 @@ def _cmd_engines(_args) -> int:
         rows.append([engine.name, doc])
     print(format_table(["engine", "description"], rows))
     return 0
+
+
+def _cmd_dataflows(_args) -> int:
+    from repro.kernels import Dataflow, dataflow_choices
+
+    rows = [
+        [
+            name,
+            "weight-stationary"
+            if Dataflow(name).weight_stationary
+            else "output-stationary",
+        ]
+        for name in dataflow_choices()
+    ]
+    print(format_table(["dataflow", "map storage order"], rows))
+    return 0
+
+
+def _resolve_lint_model(args):
+    """Returns ``(model, in_channels, target_name)`` for the lint target:
+    a bundled workload id, or a ``module:factory`` import spec."""
+    from repro.errors import ConfigError
+
+    target = args.target
+    if ":" in target:
+        import importlib
+
+        module_name, _, factory_name = target.partition(":")
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError as exc:
+            raise ConfigError(
+                f"cannot import module {module_name!r}: {exc}"
+            ) from None
+        factory = getattr(module, factory_name, None)
+        if factory is None:
+            raise ConfigError(
+                f"module {module_name!r} has no attribute {factory_name!r}"
+            )
+        return factory(), args.in_channels, target
+    from repro.models import get_workload
+
+    workload = get_workload(target)
+    return (
+        workload.build_model(),
+        workload.dataset_config.in_channels,
+        workload.id,
+    )
+
+
+def _cmd_lint(args) -> int:
+    from repro.analyze import RULES, Severity, lint_model, max_severity
+
+    if args.list_rules:
+        rows = [[rule.name, rule.description] for rule in RULES.values()]
+        print(format_table(["rule", "description"], rows))
+        return 0
+    if args.target is None:
+        raise ValueError("lint needs a workload id or module:factory target")
+    _validate_target(args.device, args.precision)
+    fail_on = Severity.parse(args.fail_on)
+    rules = args.rules.split(",") if args.rules else None
+    policy = None
+    if args.policy:
+        from repro.tune import load_policy
+
+        policy = load_policy(args.policy)
+    model, in_channels, target_name = _resolve_lint_model(args)
+    findings = lint_model(
+        model,
+        in_channels=in_channels,
+        device=args.device,
+        precision=args.precision,
+        policy=policy,
+        rules=rules,
+    )
+    failing = [f for f in findings if f.severity.rank >= fail_on.rank]
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "target": target_name,
+                    "device": args.device,
+                    "precision": args.precision,
+                    "fail_on": fail_on.value,
+                    "findings": [f.to_dict() for f in findings],
+                    "failed": bool(failing),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.format())
+        worst = max_severity(findings)
+        print(
+            f"{target_name}: {len(findings)} finding(s)"
+            + (f", worst severity {worst.value}" if worst else "")
+            + f" [fail-on {fail_on.value}]"
+        )
+    return 1 if failing else 0
 
 
 def _cmd_measure(args) -> int:
@@ -227,6 +337,52 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("engines", help="list engines").set_defaults(
         func=_cmd_engines
     )
+    sub.add_parser(
+        "dataflows", help="list registered sparse convolution dataflows"
+    ).set_defaults(func=_cmd_dataflows)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically analyze a model without running it",
+        description=(
+            "Symbolically propagate strides and channels through a model "
+            "and report stride/channel/map/precision hazards.  Exit codes: "
+            "0 = clean (no finding at or above --fail-on), 1 = findings at "
+            "or above --fail-on, 2 = usage error (unknown names)."
+        ),
+    )
+    lint.add_argument(
+        "target",
+        nargs="?",
+        help="workload id (e.g. SK-M-0.5) or module:factory import spec",
+    )
+    lint.add_argument("--device", default="a100")
+    lint.add_argument("--precision", default="fp16")
+    lint.add_argument(
+        "--in-channels", type=int, default=4,
+        help="input channels for module:factory targets "
+             "(workloads use their dataset's)",
+    )
+    lint.add_argument(
+        "--policy",
+        help="lint against a tuned policy JSON saved by `tune --output`",
+    )
+    lint.add_argument(
+        "--rules", help="comma-separated subset of rules to run"
+    )
+    lint.add_argument(
+        "--fail-on", choices=("warning", "error"), default="error",
+        help="exit 1 when any finding is at or above this severity",
+    )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="print findings as a JSON document instead of text",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered lint rules and exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     measure = sub.add_parser("measure", help="measure one engine/workload")
     measure.add_argument("workload", help="e.g. SK-M-0.5")

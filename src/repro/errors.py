@@ -27,3 +27,8 @@ class CodegenError(ReproError):
 
 class GraphError(ReproError):
     """A heterogeneous graph is malformed."""
+
+
+class AdmissionError(ReproError):
+    """The serving runtime rejected a model at admission (static lint
+    found error-level findings)."""

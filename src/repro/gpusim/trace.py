@@ -26,8 +26,11 @@ class KernelLaunch:
         flops: Floating-point operations *issued*, including redundant
             warp-lockstep work (2 x MACs).
         dram_read_bytes / dram_write_bytes: Off-chip traffic.
-        atomic_write_bytes: Portion of the writes performed with atomics
-            (subject to serialization on conflicts).
+        atomic_write_bytes: Bytes written with atomic read-modify-write
+            operations, charged *in addition to* ``dram_write_bytes`` and
+            subject to serialization on conflicts.  A launch whose writes
+            all conflict (fetch-on-demand) may have ``dram_write_bytes=0``
+            with all traffic here.
         scalar_ops: Integer/address/control operations executed on CUDA
             cores alongside the main pipe — un-hoisted pointer arithmetic
             and boundary checks land here (Section 3.2).
@@ -72,6 +75,7 @@ class TraceSummary:
     flops: float = 0.0
     dram_read_bytes: float = 0.0
     dram_write_bytes: float = 0.0
+    atomic_write_bytes: float = 0.0
     scalar_ops: float = 0.0
 
     @property
@@ -117,6 +121,7 @@ class KernelTrace:
             agg.flops += launch.flops
             agg.dram_read_bytes += launch.dram_read_bytes
             agg.dram_write_bytes += launch.dram_write_bytes
+            agg.atomic_write_bytes += launch.atomic_write_bytes
             agg.scalar_ops += launch.scalar_ops
         return agg
 

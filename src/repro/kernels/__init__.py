@@ -34,7 +34,13 @@ from repro.kernels.implicit_gemm import (
     implicit_gemm_trace,
 )
 from repro.kernels.wgrad import wgrad, wgrad_trace
-from repro.kernels.registry import DATAFLOWS, Dataflow, run_dataflow, trace_dataflow
+from repro.kernels.registry import (
+    DATAFLOWS,
+    Dataflow,
+    dataflow_choices,
+    run_dataflow,
+    trace_dataflow,
+)
 
 __all__ = [
     "ConvSpec",
@@ -52,6 +58,7 @@ __all__ = [
     "wgrad_trace",
     "DATAFLOWS",
     "Dataflow",
+    "dataflow_choices",
     "run_dataflow",
     "trace_dataflow",
 ]

@@ -155,13 +155,22 @@ def gather_gemm_scatter_trace(
                     schedule, precision, tensor_cores,
                 )
             )
+        # One kernel scatters every offset's partials at once, so rows
+        # targeting the same output index race within the launch: only the
+        # first touch of each output row can be a plain store; every
+        # further accumulation must be an atomic add.  (The unfused
+        # variant is conflict-free per launch because one offset maps each
+        # output at most once, and launches serialize.)
+        touched = int(np.count_nonzero((kmap.nbmap >= 0).any(axis=1)))
+        conflicts = total_pairs - touched
         trace.add(
             KernelLaunch(
                 name="scatter/fused",
                 kind=LaunchKind.MEMORY,
                 dram_read_bytes=itemsize * total_pairs * c_out
                 + 8.0 * total_pairs + 4.0 * total_pairs * c_out,
-                dram_write_bytes=4.0 * total_pairs * c_out,
+                dram_write_bytes=4.0 * touched * c_out,
+                atomic_write_bytes=4.0 * conflicts * c_out,
                 scalar_ops=2.0 * total_pairs,
                 ctas=max(1, total_pairs * c_out // 4096),
             )

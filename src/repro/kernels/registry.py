@@ -36,6 +36,11 @@ class Dataflow(enum.Enum):
 DATAFLOWS = tuple(d.value for d in Dataflow)
 
 
+def dataflow_choices() -> Tuple[str, ...]:
+    """Valid dataflow names, for CLI choice listings and error messages."""
+    return DATAFLOWS
+
+
 def run_dataflow(
     dataflow: "Dataflow | str",
     feats: np.ndarray,

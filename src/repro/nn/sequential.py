@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from repro.nn.context import ExecutionContext
 from repro.nn.module import Module, ModuleList
 from repro.sparse.tensor import SparseTensor
@@ -20,9 +22,12 @@ class Sequential(Module):
         return x
 
     def backward(self, grad, ctx: ExecutionContext):
-        for layer in reversed(list(self.layers)):
+        for layer in reversed(self.layers):
             grad = layer.backward(grad, ctx)
         return grad
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers)
 
     def __len__(self) -> int:
         return len(self.layers)

@@ -5,7 +5,10 @@ synthetic LiDAR scenes arrive as a request stream (Poisson or bursty),
 a dynamic batcher groups them under a point budget and deadline window,
 and a cluster of N simulated device replicas serves batches behind a
 pluggable load balancer (round-robin, least-loaded, join-shortest-queue,
-cache-affinity).  A deterministic fault model can stall replicas, fail
+cache-affinity).  Models are statically linted at admission
+(:func:`repro.analyze.lint_model`): error-level findings raise
+:class:`~repro.errors.AdmissionError` before any replica accepts traffic
+for that model.  A deterministic fault model can stall replicas, fail
 batches transiently and skew replica speed; requests retry with
 exponential backoff, long batches can hedge onto a second replica, and
 queued requests can time out.  Warm caches carry tuned policies

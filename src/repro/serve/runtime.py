@@ -45,7 +45,7 @@ import dataclasses
 import heapq
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigError
+from repro.errors import AdmissionError, ConfigError
 from repro.hw.specs import DeviceSpec, get_device
 from repro.models.registry import Workload, get_workload
 from repro.nn.context import ExecutionContext, FixedPolicy, GroupPolicy, LayerConfig
@@ -107,6 +107,10 @@ class ServeConfig:
         hedge_ms: duplicate a batch onto a second replica when its
             predicted service time exceeds this (tail-latency hedging;
             the earlier copy wins); 0 disables hedging.
+        lint_admission: statically lint every model at admission
+            (:func:`repro.analyze.lint_model`) and reject models with
+            error-level findings (:class:`~repro.errors.AdmissionError`)
+            before any replica accepts traffic for them.
     """
 
     device: str = "a100"
@@ -131,6 +135,7 @@ class ServeConfig:
     retry_backoff_ms: float = 5.0
     timeout_ms: float = 0.0
     hedge_ms: float = 0.0
+    lint_admission: bool = True
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -255,12 +260,52 @@ class ServingRuntime:
         self._tuned_inline: set = set()
 
     # ------------------------------------------------------------------ #
+    def _admit(self, workload_id: str, model: Module, in_channels: int) -> None:
+        """Admission control: statically lint the model for this runtime's
+        device/precision and reject error-level findings before any
+        replica accepts traffic (the load-time check the static analyzer
+        exists for — a bad model should fail admission, not crash
+        mid-batch)."""
+        if not self.config.lint_admission:
+            return
+        from repro.analyze import Severity, lint_model
+
+        findings = lint_model(
+            model,
+            in_channels=in_channels,
+            device=self.device,
+            precision=self.precision,
+        )
+        errors = [f for f in findings if f.severity is Severity.ERROR]
+        if errors:
+            details = "; ".join(
+                f"{f.rule} at {f.path}: {f.message}" for f in errors[:3]
+            )
+            raise AdmissionError(
+                f"model for {workload_id!r} rejected at admission with "
+                f"{len(errors)} error-level lint finding(s): {details}"
+            )
+
     def model(self, workload_id: str) -> Module:
         if workload_id not in self._models:
-            model = get_workload(workload_id).build_model()
+            workload = get_workload(workload_id)
+            model = workload.build_model()
             model.eval()
+            self._admit(
+                workload_id, model, workload.dataset_config.in_channels
+            )
             self._models[workload_id] = model
         return self._models[workload_id]
+
+    def register_model(
+        self, workload_id: str, model: Module, in_channels: int = 4
+    ) -> Module:
+        """Admit a caller-supplied model (serving stacks deploying custom
+        networks); linted like any bundled workload."""
+        model.eval()
+        self._admit(workload_id, model, in_channels)
+        self._models[workload_id] = model
+        return model
 
     def policy_key(self, workload_id: str) -> PolicyKey:
         return PolicyCache.make_key(

@@ -1,0 +1,55 @@
+"""Suite-wide fixtures.
+
+``sanitize_all_traces`` routes every latency estimate made anywhere in the
+test suite through the trace sanitizer
+(:func:`repro.analyze.tracecheck.check_trace`): any trace with a
+structurally invalid launch fails the test that produced it, no matter
+which subsystem (models, tuner, baselines, serving) emitted it.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+from repro.analyze.tracecheck import check_trace
+from repro.gpusim import engine as _engine
+
+#: Modules that import ``estimate_trace_us`` by name; each bound copy gets
+#: wrapped so no trace escapes the sanitizer.
+_PATCH_MODULES = (
+    "repro.gpusim.engine",
+    "repro.nn.context",
+    "repro.graph.engines",
+    "repro.tune.tuner",
+    "repro.tune.training",
+    "repro.baselines.flatformer",
+    "repro.codegen.cost",
+    "repro.codegen.tiling",
+    "repro.apps.mae",
+)
+
+_real_estimate_trace_us = _engine.estimate_trace_us
+
+
+def _checked_estimate_trace_us(trace, device, precision):
+    violations = check_trace(trace)
+    if violations:
+        details = "\n".join(f"  - {v}" for v in violations)
+        raise AssertionError(
+            f"trace sanitizer found {len(violations)} violation(s) in a "
+            f"trace submitted for latency estimation:\n{details}"
+        )
+    return _real_estimate_trace_us(trace, device, precision)
+
+
+@pytest.fixture(autouse=True)
+def sanitize_all_traces(monkeypatch):
+    for module_name in _PATCH_MODULES:
+        module = importlib.import_module(module_name)
+        if getattr(module, "estimate_trace_us", None) is not None:
+            monkeypatch.setattr(
+                module, "estimate_trace_us", _checked_estimate_trace_us
+            )
+    yield

@@ -1,0 +1,199 @@
+"""Trace sanitizer tests: structural invariants, conservation checks, and
+the scatter write-race detector."""
+
+import numpy as np
+import pytest
+
+from repro.analyze.tracecheck import (
+    assert_trace_ok,
+    check_conv_trace,
+    check_scatter_races,
+    check_trace,
+    scatter_conflicts,
+)
+from repro.gpusim.trace import KernelLaunch, KernelTrace, LaunchKind
+from repro.kernels import (
+    fetch_on_demand_trace,
+    gather_gemm_scatter_trace,
+    implicit_gemm_trace,
+)
+from repro.sparse.kmap import build_kernel_map
+
+
+def random_kmap(seed: int, n=200, extent=10):
+    rng = np.random.default_rng(seed)
+    coords = np.unique(
+        np.concatenate(
+            [np.zeros((n, 1), np.int32),
+             rng.integers(0, extent, (n, 3)).astype(np.int32)],
+            axis=1,
+        ),
+        axis=0,
+    )
+    return build_kernel_map(coords, kernel_size=3)
+
+
+@pytest.fixture(scope="module")
+def kmap():
+    return random_kmap(0)
+
+
+class TestStructuralChecks:
+    def test_clean_trace_passes(self, kmap):
+        assert check_trace(gather_gemm_scatter_trace(kmap, 8, 8)) == []
+
+    def test_negative_bytes_flagged(self, kmap):
+        trace = gather_gemm_scatter_trace(kmap, 8, 8)
+        # KernelLaunch only validates at construction; mutate post hoc to
+        # model a buggy kernel model.
+        trace.launches[0].dram_read_bytes = -1.0
+        violations = check_trace(trace)
+        assert any(v.invariant == "non-negative" for v in violations)
+
+    def test_non_finite_flops_flagged(self, kmap):
+        trace = gather_gemm_scatter_trace(kmap, 8, 8)
+        trace.launches[1].flops = float("nan")
+        violations = check_trace(trace)
+        assert any(v.invariant == "finite-fields" for v in violations)
+
+    def test_zero_ctas_flagged(self, kmap):
+        trace = gather_gemm_scatter_trace(kmap, 8, 8)
+        trace.launches[0].ctas = 0
+        violations = check_trace(trace)
+        assert any(v.invariant == "cta-count" for v in violations)
+
+    def test_bad_efficiency_flagged(self, kmap):
+        trace = gather_gemm_scatter_trace(kmap, 8, 8)
+        trace.launches[0].compute_efficiency = 1.5
+        violations = check_trace(trace)
+        assert any(v.invariant == "compute-efficiency" for v in violations)
+
+    def test_empty_name_flagged(self, kmap):
+        trace = gather_gemm_scatter_trace(kmap, 8, 8)
+        trace.launches[0].name = ""
+        violations = check_trace(trace)
+        assert any(v.invariant == "launch-name" for v in violations)
+
+    def test_assert_trace_ok_raises_with_details(self, kmap):
+        trace = gather_gemm_scatter_trace(kmap, 8, 8)
+        trace.launches[0].ctas = 0
+        with pytest.raises(AssertionError, match="cta-count"):
+            assert_trace_ok(trace)
+
+
+class TestScatterConflicts:
+    def test_matches_brute_force_from_pairs(self, kmap):
+        offsets = list(range(kmap.volume))
+        touched = np.concatenate(
+            [out_idx for _, out_idx in kmap.pairs()]
+        )
+        expected = len(touched) - len(np.unique(touched))
+        assert scatter_conflicts(kmap, offsets) == expected
+
+    def test_single_offset_is_conflict_free(self, kmap):
+        # Each output row appears at most once per nbmap column, so a
+        # per-offset scatter never races with itself.
+        for k in range(kmap.volume):
+            assert scatter_conflicts(kmap, [k]) == 0
+
+    def test_dense_map_conflicts(self, kmap):
+        # A reasonably dense map must have cross-offset overlap.
+        assert scatter_conflicts(kmap, list(range(kmap.volume))) > 0
+
+
+class TestScatterRaceDetector:
+    def test_synthetic_non_atomic_overlapping_scatter_caught(self, kmap):
+        """The acceptance scenario: a fused scatter writing every pair as a
+        plain (non-atomic) store over overlapping output rows is a race."""
+        c_out = 8
+        racing = KernelTrace()
+        racing.add(
+            KernelLaunch(
+                name="scatter/fused",
+                kind=LaunchKind.MEMORY,
+                dram_read_bytes=4.0 * kmap.total_pairs * c_out,
+                dram_write_bytes=4.0 * kmap.total_pairs * c_out,
+                atomic_write_bytes=0.0,
+                ctas=4,
+            )
+        )
+        violations = check_scatter_races(racing, kmap, c_out)
+        assert len(violations) == 1
+        assert violations[0].invariant == "scatter-write-race"
+        assert "data race" in violations[0].message
+
+    def test_fused_gather_scatter_carries_enough_atomics(self, kmap):
+        trace = gather_gemm_scatter_trace(kmap, 8, 8, fused=True)
+        assert check_scatter_races(trace, kmap, 8) == []
+        fused = trace.filter_name("scatter/fused").launches[0]
+        conflicts = scatter_conflicts(kmap, list(range(kmap.volume)))
+        assert fused.atomic_write_bytes == pytest.approx(4.0 * conflicts * 8)
+
+    def test_unfused_per_offset_scatters_are_race_free(self, kmap):
+        trace = gather_gemm_scatter_trace(kmap, 8, 8, fused=False)
+        assert check_scatter_races(trace, kmap, 8) == []
+
+    def test_fetch_on_demand_all_atomic_passes(self, kmap):
+        for fused in (True, False):
+            trace = fetch_on_demand_trace(kmap, 8, 8, block_fused=fused)
+            assert check_scatter_races(trace, kmap, 8) == []
+
+    def test_writeback_launches_are_exempt(self, kmap):
+        # Writebacks copy a dense accumulator row-per-row; even with zero
+        # atomic bytes they must not be treated as racing scatters.
+        wb = KernelTrace()
+        wb.add(
+            KernelLaunch(
+                name="fetch_on_demand/writeback",
+                kind=LaunchKind.MEMORY,
+                dram_read_bytes=1.0,
+                dram_write_bytes=1.0,
+                ctas=1,
+            )
+        )
+        assert check_scatter_races(wb, kmap, 8) == []
+
+    def test_stripping_atomics_from_real_trace_is_caught(self, kmap):
+        trace = fetch_on_demand_trace(kmap, 8, 8, block_fused=True)
+        fused = trace.filter_name("fused").launches[0]
+        fused.atomic_write_bytes = 0.0
+        fused.dram_write_bytes = 4.0 * kmap.total_pairs * 8
+        violations = check_scatter_races(trace, kmap, 8)
+        assert len(violations) == 1
+        assert violations[0].launch == "fetch_on_demand/fused"
+
+
+class TestConvConservation:
+    def test_atomic_bound_violation_detected(self, kmap):
+        trace = fetch_on_demand_trace(kmap, 8, 8)
+        fused = trace.filter_name("fused").launches[0]
+        fused.atomic_write_bytes = 10.0 * 4.0 * kmap.total_pairs * 8
+        violations = check_conv_trace(trace, kmap, 8, 8)
+        assert any(v.invariant == "atomic-write-bound" for v in violations)
+
+    def test_undercounted_flops_detected(self, kmap):
+        trace = implicit_gemm_trace(kmap, 8, 8)
+        for launch in trace:
+            if launch.kind is LaunchKind.GEMM:
+                launch.flops = 1.0
+        violations = check_conv_trace(trace, kmap, 8, 8)
+        assert any(v.invariant == "flop-conservation" for v in violations)
+
+    def test_missing_reads_detected(self, kmap):
+        trace = gather_gemm_scatter_trace(kmap, 8, 8)
+        for launch in trace:
+            launch.dram_read_bytes = 0.0
+        violations = check_conv_trace(trace, kmap, 8, 8)
+        assert any(
+            v.invariant == "gather-read-accounting" for v in violations
+        )
+
+    def test_missing_writes_detected(self, kmap):
+        trace = gather_gemm_scatter_trace(kmap, 8, 8)
+        for launch in trace:
+            launch.dram_write_bytes = 0.0
+            launch.atomic_write_bytes = 0.0
+        violations = check_conv_trace(trace, kmap, 8, 8)
+        assert any(
+            v.invariant == "scatter-write-accounting" for v in violations
+        )

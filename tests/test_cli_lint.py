@@ -1,0 +1,118 @@
+"""CLI regression tests for ``repro lint`` and ``repro dataflows``."""
+
+import json
+
+from repro.cli import main
+
+BROKEN = "tests.broken_models:build_broken"
+
+
+class TestDataflowsCommand:
+    def test_lists_all_dataflows(self, capsys):
+        from repro.kernels import dataflow_choices
+
+        assert main(["dataflows"]) == 0
+        out = capsys.readouterr().out
+        for name in dataflow_choices():
+            assert name in out
+        assert "output-stationary" in out
+        assert "weight-stationary" in out
+
+
+class TestLintExitCodes:
+    def test_clean_workload_exits_zero(self, capsys):
+        assert main(["lint", "SK-M-0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "SK-M-0.5" in out and "finding(s)" in out
+
+    def test_unknown_workload_exits_two_with_choices(self, capsys):
+        assert main(["lint", "XX-nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload" in err
+        assert "SK-M-0.5" in err  # valid choices are listed
+
+    def test_unknown_device_exits_two(self, capsys):
+        assert main(["lint", "SK-M-0.5", "--device", "tpu9"]) == 2
+        assert "unknown device" in capsys.readouterr().err
+
+    def test_unknown_precision_exits_two(self, capsys):
+        assert main(["lint", "SK-M-0.5", "--precision", "fp4"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_target_exits_two(self, capsys):
+        assert main(["lint"]) == 2
+        assert "workload id or module:factory" in capsys.readouterr().err
+
+    def test_bad_import_module_exits_two(self, capsys):
+        assert main(["lint", "no.such.module:build"]) == 2
+        assert "cannot import" in capsys.readouterr().err
+
+    def test_bad_factory_attr_exits_two(self, capsys):
+        assert main(["lint", "tests.broken_models:no_such_factory"]) == 2
+        assert "no attribute" in capsys.readouterr().err
+
+    def test_broken_model_fails_on_error(self, capsys):
+        rc = main(
+            ["lint", BROKEN, "--precision", "fp32", "--fail-on", "error"]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "stride-mismatch" in out
+        assert "tile-alignment" in out
+        assert "dataflow-precision" in out
+        assert "worst severity error" in out
+
+    def test_fail_on_warning_tightens_the_gate(self):
+        # Bundled MinkUNet carries INFO findings only: clean either way.
+        assert main(["lint", "SK-M-0.5", "--fail-on", "warning"]) == 0
+        # The broken net at FP16 has no errors when restricted to the
+        # tile rule, but its interior-width warning trips fail-on=warning.
+        args = ["lint", BROKEN, "--rules", "tile-alignment"]
+        assert main(args + ["--fail-on", "error"]) == 0
+        assert main(args + ["--fail-on", "warning"]) == 1
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", "SK-M-0.5", "--rules", "no-such-rule"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+
+class TestLintJson:
+    def test_json_output_parses(self, capsys):
+        rc = main(["lint", BROKEN, "--precision", "fp32", "--json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["target"] == BROKEN
+        assert payload["failed"] is True
+        rules = {f["rule"] for f in payload["findings"]}
+        assert {"stride-mismatch", "tile-alignment",
+                "dataflow-precision"} <= rules
+        for finding in payload["findings"]:
+            assert finding["severity"] in ("info", "warning", "error")
+
+    def test_json_clean_workload(self, capsys):
+        assert main(["lint", "SK-M-0.5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed"] is False
+        assert all(
+            f["severity"] == "info" for f in payload["findings"]
+        )
+
+
+class TestLintRuleListing:
+    def test_list_rules_exits_zero_and_names_all_rules(self, capsys):
+        from repro.analyze import RULES
+
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in RULES:
+            assert name in out
+
+    def test_rules_subset_only_runs_selected(self, capsys):
+        rc = main(
+            ["lint", BROKEN, "--precision", "fp32",
+             "--rules", "stride-mismatch"]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "stride-mismatch" in out
+        assert "tile-alignment" not in out

@@ -287,3 +287,29 @@ class TestRuntime:
 
         with pytest.raises(ConfigError):
             ServingRuntime(small_config()).serve([])
+
+
+class TestLintAdmission:
+    def test_broken_model_rejected_at_admission(self):
+        from repro.errors import AdmissionError
+        from tests.broken_models import BrokenSkipNet
+
+        runtime = ServingRuntime(small_config())
+        with pytest.raises(AdmissionError, match="stride-mismatch"):
+            runtime.register_model("broken", BrokenSkipNet(), in_channels=4)
+        assert "broken" not in runtime._models
+
+    def test_admission_can_be_disabled(self):
+        from tests.broken_models import BrokenSkipNet
+
+        runtime = ServingRuntime(small_config(lint_admission=False))
+        model = runtime.register_model(
+            "broken", BrokenSkipNet(), in_channels=4
+        )
+        assert runtime.model("broken") is model
+
+    def test_bundled_workload_admitted(self, small_schedule):
+        # Admission runs on the lazy build path too; the bundled MinkUNet
+        # must clear it and serving must proceed normally.
+        result = ServingRuntime(small_config()).serve(small_schedule)
+        assert result.metrics.completed == len(small_schedule)

@@ -5,12 +5,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analyze.tracecheck import check_conv_trace, check_trace
 from repro.gpusim.trace import LaunchKind
 from repro.kernels import (
+    DATAFLOWS,
     ImplicitGemmConfig,
     fetch_on_demand_trace,
     gather_gemm_scatter_trace,
     implicit_gemm_trace,
+    trace_dataflow,
     wgrad_trace,
 )
 from repro.precision import Precision
@@ -128,7 +131,38 @@ class TestCrossDataflowInvariants:
             implicit_gemm_trace(kmap, 4, 4),
             wgrad_trace(kmap, 4, 4),
         ):
+            assert check_trace(trace) == []
             s = trace.summary()
             assert np.isfinite(s.flops) and s.flops >= 0
             assert np.isfinite(s.dram_bytes) and s.dram_bytes > 0
             assert s.launches >= 1
+
+
+class TestSanitizerGrid:
+    """Every registered dataflow, at every precision, must emit traces that
+    satisfy the conservation invariants and the write-race detector."""
+
+    @pytest.mark.parametrize("precision", list(Precision))
+    @pytest.mark.parametrize("dataflow", DATAFLOWS)
+    def test_conv_trace_sanitized(self, kmap, dataflow, precision):
+        trace = trace_dataflow(dataflow, kmap, 8, 24, precision=precision)
+        violations = check_conv_trace(
+            trace, kmap, 8, 24, itemsize=precision.itemsize
+        )
+        assert violations == [], [str(v) for v in violations]
+
+    @pytest.mark.parametrize("dataflow", DATAFLOWS)
+    def test_strided_map_sanitized(self, dataflow):
+        rng = np.random.default_rng(7)
+        coords = np.unique(
+            np.concatenate(
+                [np.zeros((150, 1), np.int32),
+                 rng.integers(0, 8, (150, 3)).astype(np.int32)],
+                axis=1,
+            ),
+            axis=0,
+        )
+        strided = build_kernel_map(coords, kernel_size=2, stride=2)
+        trace = trace_dataflow(dataflow, strided, 4, 16)
+        violations = check_conv_trace(trace, strided, 4, 16)
+        assert violations == [], [str(v) for v in violations]
