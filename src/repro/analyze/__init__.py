@@ -41,6 +41,7 @@ from repro.analyze.rules import (
     lint_rule,
     max_severity,
     run_rules,
+    static_weight_bytes,
 )
 from repro.analyze.tracecheck import (
     TraceViolation,
@@ -137,5 +138,6 @@ __all__ = [
     "register_handler",
     "run_rules",
     "scatter_conflicts",
+    "static_weight_bytes",
     "trace_model",
 ]

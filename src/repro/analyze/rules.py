@@ -20,7 +20,12 @@ the TorchSparse++ design space:
 * ``kmap-reuse`` — identical kernel-map keys built more than once because
   cache lineage was broken (missed ``MapCache`` reuse);
 * ``dead-submodule`` — registered submodules the forward walk never
-  reaches.
+  reaches;
+* ``peak-memory`` — the static lower bound on resident memory (every
+  layer's weights at storage precision) against the target device's DRAM
+  capacity: exceeding ``dram_gib`` is an error (no execution can fit, not
+  even the bottom of the degradation ladder), exceeding 80% is a warning
+  (features and workspace will contend for what remains).
 """
 
 from __future__ import annotations
@@ -28,7 +33,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import math
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
 from repro.analyze.ir import ModelIR
 from repro.hw.specs import DeviceSpec
@@ -41,6 +46,9 @@ TILE_GRANULE = 16
 
 #: Padding waste at or above this fraction is a warning (below: info).
 WASTE_WARNING_THRESHOLD = 0.05
+
+#: Static weight footprint above this fraction of device DRAM is a warning.
+MEMORY_WARNING_FRACTION = 0.8
 
 
 class Severity(enum.Enum):
@@ -430,6 +438,73 @@ def _rule_kmap_reuse(ctx: LintContext) -> List[Finding]:
             )
         )
     return findings
+
+
+def static_weight_bytes(ir: ModelIR, precision: Precision) -> float:
+    """Static lower bound on resident memory: conv weights at storage
+    precision.
+
+    A lower bound by construction — it ignores activations, workspace and
+    non-conv parameters; anything the model actually executes only adds to
+    it.  Shared submodules traced more than once count once (deduplicated
+    by module path).
+    """
+    itemsize = float(precision.itemsize)
+    seen: Set[str] = set()
+    total = 0.0
+    for node in ir.conv_nodes():
+        if node.path in seen:
+            continue
+        if node.in_channels is None or node.out_channels is None:
+            continue
+        seen.add(node.path)
+        volume = 1
+        for k in node.kernel_size or (1,):
+            volume *= int(k)
+        total += itemsize * volume * node.in_channels * node.out_channels
+    return total
+
+
+@lint_rule(
+    "peak-memory",
+    "static weight footprint must fit the target device's DRAM",
+)
+def _rule_peak_memory(ctx: LintContext) -> List[Finding]:
+    weights = static_weight_bytes(ctx.ir, ctx.precision)
+    dram = ctx.device.dram_bytes
+    if weights <= MEMORY_WARNING_FRACTION * dram:
+        return []
+    gib = float(1 << 30)
+    data = {
+        "weight_bytes": weights,
+        "dram_bytes": dram,
+        "fraction": round(weights / dram, 4),
+    }
+    if weights > dram:
+        severity = Severity.ERROR
+        message = (
+            f"static weight footprint {weights / gib:.2f} GiB exceeds "
+            f"{ctx.device.name}'s {ctx.device.dram_gib:g} GiB DRAM; no "
+            f"execution can fit — not even the degradation ladder's "
+            f"minimal-footprint dataflow"
+        )
+    else:
+        severity = Severity.WARNING
+        message = (
+            f"static weight footprint {weights / gib:.2f} GiB is "
+            f"{100 * weights / dram:.0f}% of {ctx.device.name}'s "
+            f"{ctx.device.dram_gib:g} GiB DRAM; features and kernel "
+            f"workspace will contend for the remainder"
+        )
+    return [
+        Finding(
+            rule="peak-memory",
+            severity=severity,
+            path=ctx.ir.model_type,
+            message=message,
+            data=data,
+        )
+    ]
 
 
 @lint_rule(

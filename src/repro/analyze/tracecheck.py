@@ -67,6 +67,7 @@ def _numeric_fields(launch: KernelLaunch) -> List[str]:
         "dram_write_bytes",
         "atomic_write_bytes",
         "scalar_ops",
+        "workspace_bytes",
     ]
 
 
@@ -119,6 +120,20 @@ def check_trace(trace: KernelTrace) -> List[TraceViolation]:
                     ),
                 )
             )
+    # Peak workspace is a max over serialized launches: the summary can
+    # never report less than the largest single launch's workspace.
+    largest_ws = max((float(l.workspace_bytes) for l in trace), default=0.0)
+    peak_ws = float(trace.summary().peak_workspace_bytes)
+    if peak_ws + _EPS < largest_ws:
+        violations.append(
+            TraceViolation(
+                invariant="peak-workspace",
+                message=(
+                    f"summary peak_workspace_bytes {peak_ws:.0f} is below "
+                    f"the largest single launch workspace {largest_ws:.0f}"
+                ),
+            )
+        )
     return violations
 
 

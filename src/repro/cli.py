@@ -11,6 +11,9 @@ Commands:
   policy to JSON;
 * ``serve-bench`` — drive the serving runtime with a synthetic request
   stream and report throughput / tail latency / cache hit rates;
+* ``memory`` — model a workload's DRAM footprint (per-layer feature and
+  workspace peaks) and show, per device, whether it fits the memory
+  budget and which degradation-ladder rungs recover it when it does not;
 * ``dataflows`` — list the registered sparse convolution dataflows;
 * ``lint`` — statically analyze a model (bundled workload or
   ``module:factory`` import spec) for stride/channel/map/precision
@@ -258,9 +261,15 @@ def _cmd_serve_bench(args) -> int:
     _validate_target(args.device, args.precision)
     workload = get_workload(args.workload)
     faults = None
+    fault_seed = args.fault_seed if args.fault_seed is not None else args.seed
     if args.faults:
-        fault_seed = args.fault_seed if args.fault_seed is not None else args.seed
         faults = FaultPlan.parse(args.faults, seed=fault_seed)
+    if args.oom_rate > 0:
+        import dataclasses
+
+        faults = dataclasses.replace(
+            faults or FaultPlan(seed=fault_seed), oom_rate=args.oom_rate
+        )
     config = ServeConfig(
         device=args.device,
         precision=args.precision,
@@ -278,6 +287,7 @@ def _cmd_serve_bench(args) -> int:
         retry_backoff_ms=args.retry_backoff_ms,
         timeout_ms=args.timeout_ms,
         hedge_ms=args.hedge_ms,
+        mem_headroom=args.mem_headroom,
     )
     runtime = ServingRuntime(config)
     if args.policy:
@@ -318,6 +328,106 @@ def _cmd_serve_bench(args) -> int:
 
         Path(args.json).write_text(result.metrics.to_json() + "\n")
         print(f"\nmetrics written to {args.json}")
+    return 0
+
+
+def _cmd_memory(args) -> int:
+    from repro.data.datasets import make_sample
+    from repro.gpusim import memory_budget_bytes
+    from repro.hw import list_devices
+    from repro.models import get_workload
+    from repro.nn.context import FixedPolicy, LayerConfig
+    from repro.precision import Precision
+    from repro.resilience import DegradationLadder, ExecState, model_footprint
+
+    _validate_target(args.device, args.precision)
+    precision = Precision.parse(args.precision)
+    workload = get_workload(args.workload)
+    model = workload.build_model()
+    model.eval()
+    samples = [
+        make_sample(
+            workload.dataset,
+            frames=workload.frames,
+            seed=args.seed + i,
+            scale=args.scale,
+        )
+        for i in range(args.batch)
+    ]
+    mib = float(1 << 20)
+
+    cold = model_footprint(
+        model, samples, device=args.device, precision=precision
+    )
+    print(
+        f"{workload.id} x{args.batch} ({precision.value}, scale "
+        f"{args.scale:g}): per-layer footprint (cold first run, default "
+        f"dataflow)"
+    )
+    print(cold.table())
+    print(
+        f"\nweights {cold.weights_bytes / mib:.1f} MiB + features "
+        f"{cold.peak_feature_bytes / mib:.1f} MiB + workspace "
+        f"{cold.peak_workspace_bytes / mib:.1f} MiB = "
+        f"{cold.total_bytes / mib:.1f} MiB"
+    )
+
+    memo = {}
+
+    def footprint(state: ExecState) -> float:
+        if state not in memo:
+            memo[state] = model_footprint(
+                model,
+                samples,
+                device=args.device,
+                precision=state.precision,
+                policy=FixedPolicy(state.config),
+                batch_chunks=state.batch_chunks,
+                warm=True,
+            ).total_bytes
+        return memo[state]
+
+    start = ExecState(config=LayerConfig(), precision=precision)
+    ladder = DegradationLadder()
+    rows = []
+    for device in list_devices():
+        budget = memory_budget_bytes(device, args.mem_headroom)
+        if args.budget_mib is not None:
+            budget = min(budget, args.budget_mib * mib)
+        if footprint(start) <= budget:
+            verdict, rungs = "fits", "-"
+        else:
+            plan = ladder.plan(footprint, start, budget)
+            verdict = "fits degraded" if plan.fits else "DOES NOT FIT"
+            rungs = " -> ".join(plan.taken) if plan.taken else "-"
+        rows.append(
+            [
+                device.name,
+                f"{device.dram_gib:g}",
+                f"{budget / mib:.0f}",
+                f"{footprint(start) / mib:.1f}",
+                verdict,
+                rungs,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["device", "dram GiB", "budget MiB", "steady MiB", "verdict",
+             "ladder"],
+            rows,
+            title=(
+                f"per-device memory budget (headroom "
+                f"{args.mem_headroom:.0%}"
+                + (
+                    f", budget capped at {args.budget_mib:g} MiB"
+                    if args.budget_mib is not None
+                    else ""
+                )
+                + ")"
+            ),
+        )
+    )
     return 0
 
 
@@ -479,7 +589,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--json", help="also write metrics JSON here")
+    serve.add_argument(
+        "--mem-headroom", type=float, default=0.1,
+        help="fraction of replica DRAM reserved for untraced allocations",
+    )
+    serve.add_argument(
+        "--oom-rate", type=float, default=0.0,
+        help="per-batch simulated-OOM probability; OOMed batches recover "
+             "via the degradation ladder (shorthand for faults key oom=)",
+    )
     serve.set_defaults(func=_cmd_serve_bench)
+
+    memory = sub.add_parser(
+        "memory",
+        help="model a workload's DRAM footprint and degradation ladder",
+    )
+    memory.add_argument("workload", help="e.g. SK-M-0.5")
+    memory.add_argument("--device", default="a100",
+                        help="device for the per-layer table/latency")
+    memory.add_argument("--precision", default="fp16")
+    memory.add_argument("--batch", type=int, default=2,
+                        help="scenes per batch in the footprint model")
+    memory.add_argument(
+        "--scale", type=float, default=0.25,
+        help="scene resolution scale (wall-clock knob; 1.0 = full)",
+    )
+    memory.add_argument("--seed", type=int, default=0)
+    memory.add_argument(
+        "--mem-headroom", type=float, default=0.1,
+        help="fraction of device DRAM reserved for untraced allocations",
+    )
+    memory.add_argument(
+        "--budget-mib", type=float, default=None,
+        help="cap every device's budget at this many MiB (demonstrates "
+             "the degradation ladder on tight budgets)",
+    )
+    memory.set_defaults(func=_cmd_memory)
     return parser
 
 

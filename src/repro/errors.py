@@ -32,3 +32,18 @@ class GraphError(ReproError):
 class AdmissionError(ReproError):
     """The serving runtime rejected a model at admission (static lint
     found error-level findings)."""
+
+
+class SimulatedOOMError(ReproError):
+    """A modeled execution would not fit in the device's DRAM budget.
+
+    Raised by the simulator when a trace's peak workspace plus the resident
+    features/weights exceeds the (headroom-adjusted) capacity of the device.
+    Carries the modeled numbers so callers can plan a degradation ladder.
+    """
+
+    def __init__(self, message: str, *, peak_bytes: float = 0.0,
+                 budget_bytes: float = 0.0) -> None:
+        super().__init__(message)
+        self.peak_bytes = peak_bytes
+        self.budget_bytes = budget_bytes

@@ -22,9 +22,11 @@ The model captures the first-order effects the paper's analysis rests on:
 
 from repro.gpusim.trace import KernelLaunch, KernelTrace, LaunchKind, TraceSummary
 from repro.gpusim.engine import (
+    enforce_memory_budget,
     estimate_launch_us,
     estimate_trace_us,
     latency_breakdown,
+    memory_budget_bytes,
     wave_efficiency,
 )
 from repro.gpusim.report import by_layer, layer_report, timeline
@@ -37,8 +39,10 @@ __all__ = [
     "KernelTrace",
     "LaunchKind",
     "TraceSummary",
+    "enforce_memory_budget",
     "estimate_launch_us",
     "estimate_trace_us",
     "latency_breakdown",
+    "memory_budget_bytes",
     "wave_efficiency",
 ]

@@ -5,6 +5,7 @@ from __future__ import annotations
 import math
 from typing import Dict
 
+from repro.errors import SimulatedOOMError
 from repro.gpusim.trace import KernelLaunch, KernelTrace, LaunchKind
 from repro.hw.specs import DeviceSpec
 from repro.precision import Precision
@@ -80,6 +81,50 @@ def estimate_trace_us(
     """
     precision = Precision.parse(precision)
     return sum(estimate_launch_us(l, device, precision) for l in trace)
+
+
+def memory_budget_bytes(device: DeviceSpec, headroom: float = 0.0) -> float:
+    """Usable DRAM on ``device`` after reserving a headroom fraction.
+
+    The headroom models everything the simulator does not trace: the CUDA
+    context, allocator fragmentation, framework reserves.
+    """
+    if not 0.0 <= headroom < 1.0:
+        raise ValueError(f"headroom must be in [0, 1), got {headroom}")
+    return device.dram_bytes * (1.0 - headroom)
+
+
+def enforce_memory_budget(
+    trace: KernelTrace,
+    device: DeviceSpec,
+    resident_bytes: float = 0.0,
+    headroom: float = 0.0,
+    budget_bytes: "float | None" = None,
+) -> float:
+    """Check a trace against the device's DRAM capacity.
+
+    ``resident_bytes`` carries everything live for the whole execution that
+    launches do not annotate as workspace: features and weights.  Raises
+    :class:`~repro.errors.SimulatedOOMError` when the modeled peak (resident
+    plus the trace's liveness-aware peak workspace) exceeds the budget;
+    returns the modeled peak in bytes otherwise.
+    """
+    if resident_bytes < 0:
+        raise ValueError(f"resident_bytes must be >= 0, got {resident_bytes}")
+    budget = (
+        float(budget_bytes)
+        if budget_bytes is not None
+        else memory_budget_bytes(device, headroom)
+    )
+    peak = trace.summary().peak_workspace_bytes + resident_bytes
+    if peak > budget:
+        raise SimulatedOOMError(
+            f"modeled peak memory {peak / (1 << 30):.3f} GiB exceeds "
+            f"budget {budget / (1 << 30):.3f} GiB on {device.name}",
+            peak_bytes=peak,
+            budget_bytes=budget,
+        )
+    return peak
 
 
 def latency_breakdown(

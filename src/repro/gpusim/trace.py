@@ -34,6 +34,13 @@ class KernelLaunch:
         scalar_ops: Integer/address/control operations executed on CUDA
             cores alongside the main pipe — un-hoisted pointer arithmetic
             and boundary checks land here (Section 3.2).
+        workspace_bytes: Transient DRAM *live* while this launch executes —
+            gather/scatter staging buffers, kmap structures, sort key
+            arrays, split partial sums.  Excludes resident features and
+            weights (those are the caller's to account).  Because launches
+            serialize on one stream, the trace-wide peak is the *max* over
+            launches, not the sum: a buffer freed before the next launch
+            never stacks.
         ctas: Thread blocks launched (drives occupancy).
         overlapped: Whether compute and memory are pipelined (Figure 3).
         tensor_core_eligible: GEMM launches may still be barred from tensor
@@ -49,6 +56,7 @@ class KernelLaunch:
     dram_write_bytes: float = 0.0
     atomic_write_bytes: float = 0.0
     scalar_ops: float = 0.0
+    workspace_bytes: float = 0.0
     ctas: int = 1
     overlapped: bool = False
     tensor_core_eligible: bool = True
@@ -62,7 +70,7 @@ class KernelLaunch:
         if self.ctas < 1:
             raise ValueError(f"ctas must be >= 1, got {self.ctas}")
         for field in ("flops", "dram_read_bytes", "dram_write_bytes",
-                      "atomic_write_bytes", "scalar_ops"):
+                      "atomic_write_bytes", "scalar_ops", "workspace_bytes"):
             if getattr(self, field) < 0:
                 raise ValueError(f"{field} must be non-negative")
 
@@ -77,6 +85,10 @@ class TraceSummary:
     dram_write_bytes: float = 0.0
     atomic_write_bytes: float = 0.0
     scalar_ops: float = 0.0
+    #: Liveness-aware peak transient workspace: the max over launches of
+    #: :attr:`KernelLaunch.workspace_bytes` (launches serialize, so buffers
+    #: freed between layers don't stack).
+    peak_workspace_bytes: float = 0.0
 
     @property
     def dram_bytes(self) -> float:
@@ -123,6 +135,9 @@ class KernelTrace:
             agg.dram_write_bytes += launch.dram_write_bytes
             agg.atomic_write_bytes += launch.atomic_write_bytes
             agg.scalar_ops += launch.scalar_ops
+            agg.peak_workspace_bytes = max(
+                agg.peak_workspace_bytes, launch.workspace_bytes
+            )
         return agg
 
     def by_kind(self) -> Dict[LaunchKind, TraceSummary]:

@@ -47,6 +47,8 @@ class DeviceSpec:
         int_giops: Integer/address-generation throughput of the CUDA cores in
             Giga-ops/s, used to cost un-hoisted pointer arithmetic and
             boundary checks.
+        dram_gib: DRAM capacity in GiB (spec-sheet value).  On unified-memory
+            parts (Jetson) this is the full SoC memory pool.
         atomic_serialization: Multiplier applied to conflicting atomic DRAM
             writes (fetch-on-demand write-back contention).
     """
@@ -61,11 +63,14 @@ class DeviceSpec:
     dram_bw_gbps: float
     kernel_launch_us: float
     int_giops: float
+    dram_gib: float = 16.0
     atomic_serialization: float = 2.0
 
     def __post_init__(self) -> None:
         if self.sms <= 0 or self.cuda_core_tflops <= 0 or self.dram_bw_gbps <= 0:
             raise DeviceError(f"inconsistent device spec: {self}")
+        if self.dram_gib <= 0:
+            raise DeviceError(f"device {self.name!r} has no DRAM capacity")
 
     # ------------------------------------------------------------------ #
     # Throughput queries
@@ -88,6 +93,11 @@ class DeviceSpec:
     def concurrent_ctas(self) -> int:
         """Thread blocks the whole device can keep resident at once."""
         return self.sms * self.concurrent_ctas_per_sm
+
+    @property
+    def dram_bytes(self) -> float:
+        """DRAM capacity in bytes."""
+        return self.dram_gib * (1 << 30)
 
     @property
     def tensor_to_cuda_ratio(self) -> float:
@@ -134,6 +144,7 @@ A100 = DeviceSpec(
     dram_bw_gbps=1555.0,
     kernel_launch_us=4.0,
     int_giops=9750.0,
+    dram_gib=40.0,
 )
 
 RTX_3090 = DeviceSpec(
@@ -147,6 +158,7 @@ RTX_3090 = DeviceSpec(
     dram_bw_gbps=936.0,
     kernel_launch_us=4.0,
     int_giops=8900.0,
+    dram_gib=24.0,
 )
 
 RTX_2080TI = DeviceSpec(
@@ -160,6 +172,7 @@ RTX_2080TI = DeviceSpec(
     dram_bw_gbps=616.0,
     kernel_launch_us=4.5,
     int_giops=6700.0,
+    dram_gib=11.0,
 )
 
 GTX_1080TI = DeviceSpec(
@@ -173,6 +186,7 @@ GTX_1080TI = DeviceSpec(
     dram_bw_gbps=484.0,
     kernel_launch_us=5.0,
     int_giops=5650.0,
+    dram_gib=11.0,
 )
 
 JETSON_ORIN = DeviceSpec(
@@ -186,6 +200,7 @@ JETSON_ORIN = DeviceSpec(
     dram_bw_gbps=204.8,
     kernel_launch_us=9.0,
     int_giops=2650.0,
+    dram_gib=32.0,
 )
 
 _REGISTRY: Dict[str, DeviceSpec] = {}

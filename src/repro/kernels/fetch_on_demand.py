@@ -44,6 +44,7 @@ def _offset_launch(
     tensor_cores: bool,
     weight_bytes: float,
     efficiency_m: int,
+    workspace_bytes: float,
 ) -> KernelLaunch:
     itemsize = precision.itemsize
     return KernelLaunch(
@@ -54,6 +55,7 @@ def _offset_launch(
         dram_write_bytes=0.0,
         atomic_write_bytes=4.0 * size * c_out,
         scalar_ops=schedule.address_ops_per_element * size * c_in,
+        workspace_bytes=workspace_bytes,
         ctas=ctas,
         overlapped=schedule.double_buffer,
         tensor_core_eligible=tensor_cores,
@@ -76,6 +78,11 @@ def fetch_on_demand_trace(
     itemsize = precision.itemsize
     map_sizes = kmap.map_sizes
     trace = KernelTrace()
+    # The only DRAM the dataflow holds beyond features/weights is the
+    # per-offset (in, out) pair lists it streams on demand — fetches stage
+    # through shared memory and partials scatter straight from registers,
+    # which is exactly why this is the minimal-footprint fallback.
+    pair_bytes = 8.0 * kmap.total_pairs
     if block_fused:
         total = int(map_sizes.sum())
         ctas = sum(
@@ -97,6 +104,7 @@ def fetch_on_demand_trace(
                 tensor_cores,
                 weight_bytes,
                 efficiency_m=int(max(1, mean_size)),
+                workspace_bytes=pair_bytes,
             )
         )
     else:
@@ -115,6 +123,7 @@ def fetch_on_demand_trace(
                     tensor_cores,
                     float(itemsize * c_in * c_out),
                     efficiency_m=int(size),
+                    workspace_bytes=pair_bytes,
                 )
             )
     # Output materialization: convert the atomically accumulated FP32

@@ -96,47 +96,78 @@ def gather_gemm_scatter_trace(
     precision: Precision = Precision.FP32,
     fused: bool = False,
     tensor_cores: bool = True,
+    chunks: int = 1,
 ) -> KernelTrace:
-    """Execution trace of the gather-GEMM-scatter dataflow (no numerics)."""
+    """Execution trace of the gather-GEMM-scatter dataflow (no numerics).
+
+    ``chunks > 1`` splits each offset's gather/GEMM/scatter staging into
+    that many sequential row chunks (SpConv-style sub-batching): the
+    staging workspace shrinks by ``chunks`` at the cost of extra kernel
+    launches.  Only the unfused variant chunks — the fused variant's whole
+    point is one monolithic staging pass.
+    """
+    if chunks < 1:
+        raise ValueError(f"chunks must be >= 1, got {chunks}")
     itemsize = precision.itemsize
     trace = KernelTrace()
     map_sizes = kmap.map_sizes
     total_pairs = kmap.total_pairs
+    # Weight-stationary engines keep the kmap as per-offset (in, out) index
+    # pair lists: two int32 entries per pair, live for the whole dataflow.
+    pair_bytes = 8.0 * total_pairs
 
     if not fused:
         for k, size in enumerate(map_sizes):
             if size == 0:
                 continue
             size = int(size)
-            trace.add(
-                KernelLaunch(
-                    name=f"gather/offset{k}",
-                    kind=LaunchKind.MEMORY,
-                    dram_read_bytes=itemsize * size * c_in + 8.0 * size,
-                    dram_write_bytes=itemsize * size * c_in,
-                    scalar_ops=2.0 * size,
-                    ctas=max(1, size * c_in // 4096),
+            n_chunks = min(chunks, size)
+            base, extra = divmod(size, n_chunks)
+            for ci in range(n_chunks):
+                rows = base + (1 if ci < extra else 0)
+                suffix = f".chunk{ci}" if n_chunks > 1 else ""
+                trace.add(
+                    KernelLaunch(
+                        name=f"gather/offset{k}{suffix}",
+                        kind=LaunchKind.MEMORY,
+                        dram_read_bytes=itemsize * rows * c_in + 8.0 * rows,
+                        dram_write_bytes=itemsize * rows * c_in,
+                        scalar_ops=2.0 * rows,
+                        workspace_bytes=pair_bytes + itemsize * rows * c_in,
+                        ctas=max(1, rows * c_in // 4096),
+                    )
                 )
-            )
-            trace.add(
-                _gemm_launch(
-                    f"gemm/offset{k}", size, c_in, c_out, 1,
+                gemm = _gemm_launch(
+                    f"gemm/offset{k}{suffix}", rows, c_in, c_out, 1,
                     schedule, precision, tensor_cores,
                 )
-            )
-            trace.add(
-                KernelLaunch(
-                    name=f"scatter/offset{k}",
-                    kind=LaunchKind.MEMORY,
-                    dram_read_bytes=itemsize * size * c_out + 8.0 * size
-                    # scatter-accumulate reads the destination rows too
-                    + 4.0 * size * c_out,
-                    dram_write_bytes=4.0 * size * c_out,
-                    scalar_ops=2.0 * size,
-                    ctas=max(1, size * c_out // 4096),
+                gemm.workspace_bytes = (
+                    pair_bytes + itemsize * rows * (c_in + c_out)
                 )
-            )
+                trace.add(gemm)
+                trace.add(
+                    KernelLaunch(
+                        name=f"scatter/offset{k}{suffix}",
+                        kind=LaunchKind.MEMORY,
+                        dram_read_bytes=itemsize * rows * c_out + 8.0 * rows
+                        # scatter-accumulate reads the destination rows too
+                        + 4.0 * rows * c_out,
+                        dram_write_bytes=4.0 * rows * c_out,
+                        scalar_ops=2.0 * rows,
+                        workspace_bytes=pair_bytes + itemsize * rows * c_out,
+                        ctas=max(1, rows * c_out // 4096),
+                    )
+                )
     else:
+        # The fused variant materializes one gather buffer for *all* offsets
+        # and keeps every group's padded GEMM output staged until the single
+        # fused scatter consumes it — this is the dataflow's workspace hog.
+        gather_buf = itemsize * total_pairs * c_in
+        groups = adaptive_groups(map_sizes)
+        staged_out = itemsize * c_out * sum(
+            int(max(map_sizes[k] for k in group)) * len(group)
+            for group in groups
+        )
         trace.add(
             KernelLaunch(
                 name="gather/fused",
@@ -144,17 +175,18 @@ def gather_gemm_scatter_trace(
                 dram_read_bytes=itemsize * total_pairs * c_in + 8.0 * total_pairs,
                 dram_write_bytes=itemsize * total_pairs * c_in,
                 scalar_ops=2.0 * total_pairs,
+                workspace_bytes=pair_bytes + gather_buf,
                 ctas=max(1, total_pairs * c_in // 4096),
             )
         )
-        for g, group in enumerate(adaptive_groups(map_sizes)):
+        for g, group in enumerate(groups):
             padded_m = int(max(map_sizes[k] for k in group))
-            trace.add(
-                _gemm_launch(
-                    f"gemm/group{g}", padded_m, c_in, c_out, len(group),
-                    schedule, precision, tensor_cores,
-                )
+            gemm = _gemm_launch(
+                f"gemm/group{g}", padded_m, c_in, c_out, len(group),
+                schedule, precision, tensor_cores,
             )
+            gemm.workspace_bytes = pair_bytes + gather_buf + staged_out
+            trace.add(gemm)
         # One kernel scatters every offset's partials at once, so rows
         # targeting the same output index race within the launch: only the
         # first touch of each output row can be a plain store; every
@@ -172,6 +204,7 @@ def gather_gemm_scatter_trace(
                 dram_write_bytes=4.0 * touched * c_out,
                 atomic_write_bytes=4.0 * conflicts * c_out,
                 scalar_ops=2.0 * total_pairs,
+                workspace_bytes=pair_bytes + staged_out,
                 ctas=max(1, total_pairs * c_out // 4096),
             )
         )
@@ -197,11 +230,14 @@ def gather_gemm_scatter(
     precision: Precision = Precision.FP32,
     fused: bool = False,
     tensor_cores: bool = True,
+    chunks: int = 1,
 ) -> Tuple[np.ndarray, KernelTrace]:
     """Run sparse convolution with the gather-GEMM-scatter dataflow.
 
     Returns ``(out_feats, trace)`` with ``out_feats`` of shape
-    ``(N_out, C_out)`` in the precision's storage dtype.
+    ``(N_out, C_out)`` in the precision's storage dtype.  ``chunks`` only
+    affects staging-buffer granularity (launch structure and workspace),
+    never the arithmetic.
     """
     c_in, c_out = check_conv_args(feats, weights, kmap.volume)
     accum = np.zeros((kmap.num_outputs, c_out), dtype=np.float32)
@@ -211,6 +247,6 @@ def gather_gemm_scatter(
         partial = matmul_accumulate(feats[in_idx], weights[k], precision)
         np.add.at(accum, out_idx, partial)
     trace = gather_gemm_scatter_trace(
-        kmap, c_in, c_out, schedule, precision, fused, tensor_cores
+        kmap, c_in, c_out, schedule, precision, fused, tensor_cores, chunks
     )
     return accum.astype(precision.dtype), trace

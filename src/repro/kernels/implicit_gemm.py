@@ -94,6 +94,11 @@ def _mapping_trace(
     volume = kmap.volume
     seg_bits = math.ceil(volume / config.num_splits)
     passes = max(1, math.ceil(seg_bits / RADIX_BITS))
+    # The dense output-stationary map (4 bytes x V per row) is live through
+    # every mapping stage; sort keys and the radix ping-pong buffers come
+    # and go around it.
+    map_bytes = 4.0 * num_rows * volume
+    key_bytes = 8.0 * num_rows * config.num_splits
     trace.add(
         KernelLaunch(
             name="mapping/bitmask",
@@ -101,6 +106,7 @@ def _mapping_trace(
             dram_read_bytes=4.0 * num_rows * volume,
             dram_write_bytes=8.0 * num_rows * config.num_splits,
             scalar_ops=2.0 * num_rows * volume,
+            workspace_bytes=map_bytes + key_bytes,
             ctas=max(1, num_rows // 256),
         )
     )
@@ -113,6 +119,8 @@ def _mapping_trace(
             dram_write_bytes=SECTOR_FACTOR
             * 16.0 * num_rows * passes * config.num_splits,
             scalar_ops=SORT_OPS_PER_PASS * num_rows * passes * config.num_splits,
+            # Keys plus the (key, index) ping-pong pair of the radix sort.
+            workspace_bytes=map_bytes + 3.0 * key_bytes,
             ctas=max(1, num_rows // 256),
         )
     )
@@ -126,6 +134,8 @@ def _mapping_trace(
                 + 4.0 * num_rows,
                 dram_write_bytes=4.0 * num_rows * volume,
                 scalar_ops=2.0 * num_rows * volume,
+                # Source map + materialised reordered copy + permutation.
+                workspace_bytes=2.0 * map_bytes + 4.0 * num_rows,
                 ctas=max(1, num_rows // 256),
             )
         )
@@ -211,6 +221,20 @@ def implicit_gemm_trace(
     weight_reads = 2.0 * itemsize * kmap.volume * c_in * c_out
     split_buffers = config.num_splits > 1
     out_bytes_per_split = (4.0 if split_buffers else itemsize) * num_rows * c_out
+    # Workspace of the main launch: the dense map (doubled when a reordered
+    # copy was materialised offline, plus the permutation when it is chased
+    # online) and, with mask splitting, one FP32 partial-sum buffer per
+    # split segment.  Output rows accumulate in registers — no staging.
+    sorted_here = config.sort and kmap.volume > 1
+    map_bytes = 4.0 * num_rows * kmap.volume
+    main_workspace = map_bytes
+    if sorted_here:
+        if config.offline_reorder:
+            main_workspace += map_bytes
+        else:
+            main_workspace += 4.0 * num_rows * config.num_splits
+    if split_buffers:
+        main_workspace += 4.0 * config.num_splits * num_rows * c_out
     trace.add(
         KernelLaunch(
             name="implicit_gemm/main",
@@ -223,6 +247,7 @@ def implicit_gemm_trace(
             ),
             dram_write_bytes=out_bytes_per_split * config.num_splits,
             scalar_ops=scalar_per_element * a_loads,
+            workspace_bytes=main_workspace,
             ctas=max(1, ctas_total),
             overlapped=schedule.double_buffer,
             tensor_core_eligible=tensor_cores,
@@ -239,6 +264,7 @@ def implicit_gemm_trace(
                 flops=float(config.num_splits) * num_rows * c_out,
                 dram_read_bytes=4.0 * config.num_splits * num_rows * c_out,
                 dram_write_bytes=float(itemsize) * num_rows * c_out,
+                workspace_bytes=4.0 * config.num_splits * num_rows * c_out,
                 ctas=max(1, num_rows * c_out // 4096),
                 overlapped=True,
             )

@@ -50,11 +50,14 @@ def run_dataflow(
     precision: "Precision | str" = Precision.FP32,
     ig_config: ImplicitGemmConfig = ImplicitGemmConfig(),
     tensor_cores: bool = True,
+    gs_chunks: int = 1,
 ) -> Tuple[np.ndarray, KernelTrace]:
     """Execute one sparse convolution with the named dataflow.
 
     This is the single entry point the autotuner and the baseline engines
     drive; every dataflow produces numerically equivalent output.
+    ``gs_chunks`` sub-batches the gather-scatter staging buffers (workspace
+    relief for the degradation ladder); other dataflows ignore it.
     """
     if isinstance(dataflow, str):
         try:
@@ -68,7 +71,7 @@ def run_dataflow(
     if dataflow is Dataflow.GATHER_SCATTER:
         return gather_gemm_scatter(
             feats, weights, kmap, schedule, precision,
-            fused=False, tensor_cores=tensor_cores,
+            fused=False, tensor_cores=tensor_cores, chunks=gs_chunks,
         )
     if dataflow is Dataflow.GATHER_SCATTER_FUSED:
         return gather_gemm_scatter(
@@ -101,6 +104,7 @@ def trace_dataflow(
     ig_config: ImplicitGemmConfig = ImplicitGemmConfig(),
     tensor_cores: bool = True,
     charge_mapping: bool = True,
+    gs_chunks: int = 1,
 ) -> KernelTrace:
     """Trace one sparse convolution without executing numerics.
 
@@ -124,7 +128,7 @@ def trace_dataflow(
     if dataflow is Dataflow.GATHER_SCATTER:
         return gather_gemm_scatter_trace(
             kmap, c_in, c_out, schedule, precision,
-            fused=False, tensor_cores=tensor_cores,
+            fused=False, tensor_cores=tensor_cores, chunks=gs_chunks,
         )
     if dataflow is Dataflow.GATHER_SCATTER_FUSED:
         return gather_gemm_scatter_trace(

@@ -61,7 +61,12 @@ def wgrad_trace(
     itemsize = precision.itemsize
     trace = KernelTrace()
     total_pairs = kmap.total_pairs
+    # Pair lists are live for the whole kernel; the gathered variant adds
+    # staged copies of both operands on top.
+    pair_bytes = 8.0 * total_pairs
+    staging_bytes = 0.0
     if gathered:
+        staging_bytes = itemsize * total_pairs * (c_in + c_out)
         trace.add(
             KernelLaunch(
                 name="wgrad/gather",
@@ -70,6 +75,7 @@ def wgrad_trace(
                 + 16.0 * total_pairs,
                 dram_write_bytes=itemsize * total_pairs * (c_in + c_out),
                 scalar_ops=4.0 * total_pairs,
+                workspace_bytes=pair_bytes + staging_bytes,
                 ctas=max(1, total_pairs * (c_in + c_out) // 4096),
             )
         )
@@ -109,6 +115,7 @@ def wgrad_trace(
             atomic_write_bytes=4.0 * kmap.volume * c_in * c_out
             * (k_splits - 1),
             scalar_ops=k_loads_scalar,
+            workspace_bytes=pair_bytes + staging_bytes,
             ctas=max(1, ctas),
             overlapped=schedule.double_buffer,
             tensor_core_eligible=tensor_cores,

@@ -37,12 +37,18 @@ class Role(enum.Enum):
 
 @dataclasses.dataclass(frozen=True)
 class LayerConfig:
-    """One point in the TorchSparse++ design space (Figure 9)."""
+    """One point in the TorchSparse++ design space (Figure 9).
+
+    ``gs_chunks`` sub-batches the gather-scatter staging buffers (the
+    degradation ladder's "raise split counts" rung); it never changes the
+    arithmetic, only workspace and launch granularity.
+    """
 
     dataflow: Dataflow = Dataflow.IMPLICIT_GEMM
     schedule: KernelSchedule = DEFAULT_SCHEDULE
     ig_config: ImplicitGemmConfig = ImplicitGemmConfig()
     tensor_cores: bool = True
+    gs_chunks: int = 1
 
     def describe(self) -> str:
         parts = [self.dataflow.value]
@@ -51,6 +57,8 @@ class LayerConfig:
                 parts.append("unsorted")
             else:
                 parts.append(f"splits={self.ig_config.num_splits}")
+        if self.gs_chunks > 1:
+            parts.append(f"chunks={self.gs_chunks}")
         parts.append(
             f"tile={self.schedule.tile_m}x{self.schedule.tile_n}"
             f"x{self.schedule.tile_k}"
@@ -198,3 +206,7 @@ class ExecutionContext:
     def memory_bytes(self) -> float:
         """Peak-ish DRAM footprint proxy: total bytes written."""
         return self.trace.summary().dram_write_bytes
+
+    def peak_workspace_bytes(self) -> float:
+        """Liveness-aware peak transient workspace of the traced execution."""
+        return self.trace.summary().peak_workspace_bytes

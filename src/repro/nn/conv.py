@@ -223,6 +223,7 @@ class SparseConv3d(Module):
                 ig_config=config.ig_config,
                 tensor_cores=config.tensor_cores,
                 charge_mapping=charge_mapping,
+                gs_chunks=config.gs_chunks,
             )
         else:
             out, trace = run_dataflow(
@@ -234,6 +235,7 @@ class SparseConv3d(Module):
                 precision=ctx.precision,
                 ig_config=config.ig_config,
                 tensor_cores=config.tensor_cores,
+                gs_chunks=config.gs_chunks,
             )
             if not charge_mapping:
                 trace = KernelTrace(

@@ -35,6 +35,9 @@ def map_build_trace(kmap: KernelMap, name: str = "map") -> KernelTrace:
     """Launches for constructing ``kmap`` on device."""
     stats = kmap.build_stats
     trace = KernelTrace()
+    # Open-addressing hash table (key + value slots at ~1.5x load factor),
+    # live from build through the last query.
+    hash_bytes = 24.0 * max(stats.inserts, 1)
     if stats.inserts:
         trace.add(
             KernelLaunch(
@@ -43,6 +46,7 @@ def map_build_trace(kmap: KernelMap, name: str = "map") -> KernelTrace:
                 scalar_ops=OPS_PER_PROBE * stats.insert_probes,
                 dram_read_bytes=8.0 * stats.inserts,
                 dram_write_bytes=BYTES_PER_PROBE * stats.insert_probes,
+                workspace_bytes=hash_bytes,
                 ctas=max(1, stats.inserts // 256),
             )
         )
@@ -54,6 +58,8 @@ def map_build_trace(kmap: KernelMap, name: str = "map") -> KernelTrace:
                 scalar_ops=OPS_PER_PROBE * stats.query_probes,
                 dram_read_bytes=BYTES_PER_PROBE * stats.query_probes,
                 dram_write_bytes=4.0 * kmap.num_outputs * kmap.volume,
+                workspace_bytes=hash_bytes
+                + 4.0 * kmap.num_outputs * kmap.volume,
                 ctas=max(1, stats.queries // 256),
             )
         )
@@ -67,6 +73,7 @@ def map_build_trace(kmap: KernelMap, name: str = "map") -> KernelTrace:
                     scalar_ops=4.0 * stats.queries,
                     dram_read_bytes=8.0 * stats.queries,
                     dram_write_bytes=8.0 * stats.queries,
+                    workspace_bytes=hash_bytes + 16.0 * stats.queries,
                     ctas=max(1, stats.queries // 256),
                 )
             )
@@ -81,6 +88,8 @@ def map_build_trace(kmap: KernelMap, name: str = "map") -> KernelTrace:
                 scalar_ops=8.0 * n * COORD_SORT_PASSES,
                 dram_read_bytes=16.0 * n * COORD_SORT_PASSES,
                 dram_write_bytes=2.0 * SECTOR_FACTOR * 8.0 * n,
+                # 64-bit keys in a radix ping-pong pair.
+                workspace_bytes=32.0 * n,
                 ctas=max(1, n // 256),
             )
         )
@@ -115,6 +124,8 @@ def map_reorder_trace(kmap: KernelMap, name: str = "map") -> KernelTrace:
             dram_read_bytes=4.0 * n * volume,
             dram_write_bytes=SECTOR_FACTOR * 4.0 * kmap.total_pairs
             + 4.0 * n * volume,
+            # Source map plus the re-materialised copy being written.
+            workspace_bytes=8.0 * n * volume,
             ctas=max(1, n // 256),
         )
     )

@@ -1,0 +1,225 @@
+"""Modeled DRAM footprint of executing a model on a batch of scenes.
+
+The footprint of one execution decomposes into three parts:
+
+* **weights** — every layer's parameters at storage precision, resident
+  for the whole run;
+* **features** — activations.  Inference frees a layer's input once its
+  output exists, so one sample's feature peak is the largest single
+  (input + output) pair along the network; a batch keeps every member's
+  activations around (double-buffered streams), so chunking the batch
+  into sequential sub-batches divides this term;
+* **workspace** — the transient buffers the kernels annotate per launch
+  (:attr:`~repro.gpusim.trace.KernelLaunch.workspace_bytes`); launches
+  serialize, so the peak is the max over launches, *not* the sum.
+
+Everything here is a pure function of (model, samples, config): the same
+inputs always produce the same report, which is what lets the serving
+runtime's degradation ladder be deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hw.specs import DeviceSpec, get_device
+from repro.nn.context import ExecutionContext
+from repro.nn.module import Module
+from repro.precision import Precision
+from repro.sparse.tensor import SparseTensor
+
+
+def model_weight_bytes(model: Module, precision: "Precision | str") -> float:
+    """Resident parameter bytes at storage precision."""
+    precision = Precision.parse(precision)
+    return float(precision.itemsize) * model.num_parameters()
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerFootprint:
+    """Per-layer footprint row (worst case over the swept samples)."""
+
+    label: str
+    c_in: int
+    c_out: int
+    num_inputs: int
+    num_outputs: int
+    feature_bytes: float
+    workspace_bytes: float
+
+
+@dataclasses.dataclass(frozen=True)
+class FootprintReport:
+    """Modeled peak DRAM footprint of one (model, batch) execution."""
+
+    device: str
+    precision: str
+    batch_chunks: int
+    weights_bytes: float
+    peak_feature_bytes: float
+    peak_workspace_bytes: float
+    latency_us: float
+    layers: Tuple[LayerFootprint, ...]
+
+    @property
+    def total_bytes(self) -> float:
+        return (
+            self.weights_bytes
+            + self.peak_feature_bytes
+            + self.peak_workspace_bytes
+        )
+
+    def fits(self, budget_bytes: float) -> bool:
+        return self.total_bytes <= budget_bytes
+
+    def table(self) -> str:
+        """Per-layer footprint table (MiB), largest workspace first."""
+        mib = float(1 << 20)
+        header = (
+            f"{'layer':<28} {'shape':>12} {'points':>9} "
+            f"{'feat MiB':>9} {'ws MiB':>9}"
+        )
+        lines = [header, "-" * len(header)]
+        rows = sorted(self.layers, key=lambda l: -l.workspace_bytes)
+        for row in rows:
+            lines.append(
+                f"{row.label:<28} {row.c_in:>5}->{row.c_out:<6} "
+                f"{row.num_outputs:>9} "
+                f"{row.feature_bytes / mib:>9.2f} "
+                f"{row.workspace_bytes / mib:>9.2f}"
+            )
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'total (weights + features + workspace)':<42}"
+            f"{self.total_bytes / mib:>19.2f}"
+        )
+        return "\n".join(lines)
+
+
+def _chunked(samples: Sequence[SparseTensor], chunks: int) -> List[List[SparseTensor]]:
+    """Split ``samples`` into ``chunks`` contiguous, near-equal sub-batches."""
+    n = len(samples)
+    chunks = max(1, min(chunks, n))
+    base, extra = divmod(n, chunks)
+    out: List[List[SparseTensor]] = []
+    start = 0
+    for i in range(chunks):
+        size = base + (1 if i < extra else 0)
+        out.append(list(samples[start:start + size]))
+        start += size
+    return out
+
+
+def model_footprint(
+    model: Module,
+    samples: Sequence[SparseTensor],
+    device: "DeviceSpec | str" = "a100",
+    precision: "Precision | str" = Precision.FP16,
+    policy: Optional[object] = None,
+    batch_chunks: int = 1,
+    warm: bool = False,
+) -> FootprintReport:
+    """Model the peak DRAM footprint of running ``samples`` through ``model``.
+
+    ``batch_chunks > 1`` processes the batch as that many sequential
+    sub-batches: feature residency divides accordingly while workspace
+    (a max over serialized launches) is unchanged — the degradation
+    ladder's final rung.
+
+    ``warm=True`` models steady state: kernel maps already exist (cached
+    by a previous execution of the same scenes), so one-shot map
+    construction and reordering launches — whose workspace is identical
+    across dataflows — do not appear in the trace.  The degradation
+    ladder plans on warm footprints because an OOM retry reuses the maps
+    the failed attempt already built.
+    """
+    if not samples:
+        raise ValueError("model_footprint needs at least one sample")
+    if batch_chunks < 1:
+        raise ValueError(f"batch_chunks must be >= 1, got {batch_chunks}")
+    device = get_device(device)
+    precision = Precision.parse(precision)
+    itemsize = precision.itemsize
+    weights = model_weight_bytes(model, precision)
+
+    charged: frozenset = frozenset()
+    if warm:
+        dry = ExecutionContext(
+            device=device,
+            precision=precision,
+            policy=policy,
+            simulate_only=True,
+        )
+        for sample in samples:
+            model(sample, dry)
+        charged = dry.charged_keys()
+
+    layer_rows: Dict[str, LayerFootprint] = {}
+    peak_feature = 0.0
+    peak_workspace = 0.0
+    latency_us = 0.0
+    for chunk in _chunked(samples, batch_chunks):
+        ctx = ExecutionContext(
+            device=device,
+            precision=precision,
+            policy=policy,
+            simulate_only=True,
+        )
+        if charged:
+            ctx.precharge(charged)
+        chunk_feature = 0.0
+        for sample in chunk:
+            recorded: List[Tuple[str, int, int, int, int]] = []
+
+            def record(signature=None, kmap=None, c_in=0, c_out=0, label=""):
+                recorded.append(
+                    (label, c_in, c_out, kmap.num_inputs, kmap.num_outputs)
+                )
+
+            ctx.recorder = record
+            model(sample, ctx)
+            ctx.recorder = None
+            sample_peak = 0.0
+            for label, c_in, c_out, n_in, n_out in recorded:
+                feature = float(itemsize) * (n_in * c_in + n_out * c_out)
+                sample_peak = max(sample_peak, feature)
+                prev = layer_rows.get(label)
+                if prev is None or feature > prev.feature_bytes:
+                    layer_rows[label] = LayerFootprint(
+                        label=label,
+                        c_in=c_in,
+                        c_out=c_out,
+                        num_inputs=n_in,
+                        num_outputs=n_out,
+                        feature_bytes=feature,
+                        workspace_bytes=(
+                            prev.workspace_bytes if prev else 0.0
+                        ),
+                    )
+            chunk_feature += sample_peak
+        peak_feature = max(peak_feature, chunk_feature)
+        # Workspace liveness: launches serialize on one stream, so the
+        # chunk's peak is the max over its launches and the run's peak is
+        # the max over chunks.
+        peak_workspace = max(
+            peak_workspace, ctx.trace.summary().peak_workspace_bytes
+        )
+        latency_us += ctx.latency_us()
+        for launch in ctx.trace:
+            label = launch.name.split("/", 1)[0]
+            row = layer_rows.get(label)
+            if row is not None and launch.workspace_bytes > row.workspace_bytes:
+                layer_rows[label] = dataclasses.replace(
+                    row, workspace_bytes=launch.workspace_bytes
+                )
+    return FootprintReport(
+        device=device.name,
+        precision=precision.value,
+        batch_chunks=batch_chunks,
+        weights_bytes=weights,
+        peak_feature_bytes=peak_feature,
+        peak_workspace_bytes=peak_workspace,
+        latency_us=latency_us,
+        layers=tuple(layer_rows[k] for k in sorted(layer_rows)),
+    )

@@ -1,0 +1,229 @@
+"""Deterministic degradation ladder for simulated out-of-memory recovery.
+
+When an execution's modeled footprint exceeds the device budget, the
+runtime does not fail the request — it walks a policy-ordered ladder of
+*rungs*, each trading performance (or precision) for memory:
+
+1. ``dataflow:gather_scatter`` — leave implicit GEMM's dense
+   output-stationary map structures behind;
+2. ``dataflow:fetch_on_demand`` — drop staging buffers entirely; the
+   minimal-workspace dataflow (pair lists only);
+3. ``chunks:N`` — sub-batch gather-scatter staging buffers N ways;
+4. ``precision:drop`` — halve feature/weight storage (FP32/TF32 → FP16);
+5. ``batch:N`` — chunk the request batch into N sequential sub-batches,
+   dividing feature residency.
+
+A rung is **taken** only if it *strictly reduces* the modeled footprint;
+otherwise it is recorded as skipped, with the evaluated delta, and the
+walk continues.  The walk stops at the first state that fits the budget.
+Planning is a pure function of (start state, footprint function, budget):
+no randomness, no wall-clock — the same OOM always degrades the same way,
+which is what makes seeded serving runs byte-reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Tuple
+
+from repro.kernels.registry import Dataflow
+from repro.nn.context import LayerConfig
+from repro.precision import Precision
+
+#: Default rung order: cheapest-latency recovery first, batch chunking last.
+DEFAULT_RUNGS: Tuple[str, ...] = (
+    "dataflow:gather_scatter",
+    "dataflow:fetch_on_demand",
+    "chunks:2",
+    "chunks:4",
+    "precision:drop",
+    "batch:2",
+    "batch:4",
+    "batch:8",
+)
+
+#: Precision downgrade map for the ``precision:drop`` rung.
+_PRECISION_DROP = {
+    Precision.FP32: Precision.FP16,
+    Precision.TF32: Precision.FP16,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecState:
+    """One point on the ladder: how an execution would be configured."""
+
+    config: LayerConfig
+    precision: Precision
+    batch_chunks: int = 1
+
+    def describe(self) -> str:
+        parts = [self.config.describe(), self.precision.value]
+        if self.batch_chunks > 1:
+            parts.append(f"batch_chunks={self.batch_chunks}")
+        return " ".join(parts)
+
+
+@dataclasses.dataclass(frozen=True)
+class LadderStep:
+    """One evaluated rung: taken (footprint strictly dropped) or skipped."""
+
+    rung: str
+    taken: bool
+    before_bytes: float
+    after_bytes: float
+    note: str = ""
+
+    @property
+    def delta_bytes(self) -> float:
+        return self.after_bytes - self.before_bytes
+
+
+@dataclasses.dataclass(frozen=True)
+class LadderPlan:
+    """The outcome of one ladder walk."""
+
+    start: ExecState
+    final: ExecState
+    start_bytes: float
+    final_bytes: float
+    budget_bytes: float
+    steps: Tuple[LadderStep, ...]
+
+    @property
+    def fits(self) -> bool:
+        return self.final_bytes <= self.budget_bytes
+
+    @property
+    def taken(self) -> Tuple[str, ...]:
+        return tuple(s.rung for s in self.steps if s.taken)
+
+    def describe(self) -> str:
+        mib = float(1 << 20)
+        lines = [
+            f"budget {self.budget_bytes / mib:.1f} MiB, "
+            f"start {self.start_bytes / mib:.1f} MiB ({self.start.describe()})"
+        ]
+        for step in self.steps:
+            if step.taken:
+                lines.append(
+                    f"  take {step.rung:<26} "
+                    f"{step.before_bytes / mib:9.1f} -> "
+                    f"{step.after_bytes / mib:.1f} MiB"
+                )
+            else:
+                lines.append(f"  skip {step.rung:<26} ({step.note})")
+        verdict = "fits" if self.fits else "DOES NOT FIT"
+        lines.append(
+            f"final {self.final_bytes / mib:.1f} MiB "
+            f"({self.final.describe()}) -- {verdict}"
+        )
+        return "\n".join(lines)
+
+
+def apply_rung(state: ExecState, rung: str) -> Optional[ExecState]:
+    """Candidate state after applying ``rung``, or None if not applicable.
+
+    Applicability is purely structural (e.g. a dataflow switch to the
+    current dataflow is a no-op); whether the candidate actually *reduces*
+    memory is the planner's job.
+    """
+    kind, _, arg = rung.partition(":")
+    if kind == "dataflow":
+        target = Dataflow(arg)
+        if state.config.dataflow is target:
+            return None
+        return dataclasses.replace(
+            state, config=dataclasses.replace(state.config, dataflow=target)
+        )
+    if kind == "chunks":
+        n = int(arg)
+        if state.config.dataflow is not Dataflow.GATHER_SCATTER:
+            return None
+        if state.config.gs_chunks >= n:
+            return None
+        return dataclasses.replace(
+            state, config=dataclasses.replace(state.config, gs_chunks=n)
+        )
+    if kind == "precision":
+        lower = _PRECISION_DROP.get(state.precision)
+        if lower is None:
+            return None
+        return dataclasses.replace(state, precision=lower)
+    if kind == "batch":
+        n = int(arg)
+        if n <= state.batch_chunks:
+            return None
+        return dataclasses.replace(state, batch_chunks=n)
+    raise ValueError(f"unknown ladder rung {rung!r}")
+
+
+class DegradationLadder:
+    """Policy-ordered rung walker with strict-reduction take logic."""
+
+    def __init__(self, rungs: Tuple[str, ...] = DEFAULT_RUNGS):
+        if not rungs:
+            raise ValueError("degradation ladder needs at least one rung")
+        self.rungs = tuple(rungs)
+
+    def plan(
+        self,
+        footprint_fn: Callable[[ExecState], float],
+        start: ExecState,
+        budget_bytes: float,
+    ) -> LadderPlan:
+        """Walk the ladder until the modeled footprint fits ``budget_bytes``.
+
+        ``footprint_fn`` maps a candidate :class:`ExecState` to modeled
+        total bytes; it is consulted for every applicable rung, and a rung
+        is taken only when it strictly reduces the current footprint.
+        """
+        current = start
+        start_bytes = float(footprint_fn(start))
+        current_bytes = start_bytes
+        steps = []
+        for rung in self.rungs:
+            if current_bytes <= budget_bytes:
+                break
+            candidate = apply_rung(current, rung)
+            if candidate is None:
+                steps.append(
+                    LadderStep(
+                        rung=rung,
+                        taken=False,
+                        before_bytes=current_bytes,
+                        after_bytes=current_bytes,
+                        note="not applicable",
+                    )
+                )
+                continue
+            candidate_bytes = float(footprint_fn(candidate))
+            if candidate_bytes < current_bytes:
+                steps.append(
+                    LadderStep(
+                        rung=rung,
+                        taken=True,
+                        before_bytes=current_bytes,
+                        after_bytes=candidate_bytes,
+                    )
+                )
+                current = candidate
+                current_bytes = candidate_bytes
+            else:
+                steps.append(
+                    LadderStep(
+                        rung=rung,
+                        taken=False,
+                        before_bytes=current_bytes,
+                        after_bytes=candidate_bytes,
+                        note="does not reduce",
+                    )
+                )
+        return LadderPlan(
+            start=start,
+            final=current,
+            start_bytes=start_bytes,
+            final_bytes=current_bytes,
+            budget_bytes=float(budget_bytes),
+            steps=tuple(steps),
+        )

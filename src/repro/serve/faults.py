@@ -41,6 +41,11 @@ class FaultPlan:
         fail_rate: probability that one dispatched batch fails transiently.
         fail_cost_fraction: fraction of the batch's service time a failed
             attempt still occupies the replica for before it errors out.
+        oom_rate: probability that one dispatched batch hits a simulated
+            out-of-memory condition.  Unlike a transient failure, an OOM
+            is *recoverable in place*: the runtime walks the degradation
+            ladder (:mod:`repro.resilience`) and re-executes, so the
+            requests resolve DEGRADED rather than FAILED.
         skew_factor: service-time multiplier applied to the skewed replicas.
         skew_replicas: replica indices that run slow; empty with a
             ``skew_factor != 1`` means "the last replica".
@@ -51,6 +56,7 @@ class FaultPlan:
     stall_ms: float = 50.0
     fail_rate: float = 0.0
     fail_cost_fraction: float = 0.5
+    oom_rate: float = 0.0
     skew_factor: float = 1.0
     skew_replicas: Tuple[int, ...] = ()
     seed: int = 0
@@ -71,6 +77,10 @@ class FaultPlan:
                 "fail_cost_fraction must be in [0, 1], "
                 f"got {self.fail_cost_fraction}"
             )
+        if not 0.0 <= self.oom_rate < 1.0:
+            raise ConfigError(
+                f"oom_rate must be in [0, 1), got {self.oom_rate}"
+            )
         if self.skew_factor < 1.0:
             raise ConfigError(
                 f"skew_factor must be >= 1, got {self.skew_factor}"
@@ -81,6 +91,7 @@ class FaultPlan:
         return (
             self.stall_rate_per_s > 0
             or self.fail_rate > 0
+            or self.oom_rate > 0
             or self.skew_factor != 1.0
         )
 
@@ -91,6 +102,7 @@ class FaultPlan:
         "stall_ms": "stall_ms",
         "fail": "fail_rate",
         "fail_cost": "fail_cost_fraction",
+        "oom": "oom_rate",
         "skew": "skew_factor",
         "skew_replica": "skew_replicas",
     }
@@ -100,8 +112,9 @@ class FaultPlan:
         """Build a plan from a CLI spec like ``"stall=2,fail=0.1,skew=3"``.
 
         Keys: ``stall`` (windows per second per replica), ``stall_ms``,
-        ``fail`` (per-batch probability), ``fail_cost``, ``skew``
-        (multiplier), ``skew_replica`` (index, repeatable).
+        ``fail`` (per-batch probability), ``fail_cost``, ``oom``
+        (per-batch simulated-OOM probability), ``skew`` (multiplier),
+        ``skew_replica`` (index, repeatable).
         """
         fields: Dict[str, object] = {"seed": seed}
         skew_replicas: List[int] = []
@@ -183,6 +196,7 @@ class FaultInjector:
                 )
         self._skewed = frozenset(skewed)
         self.batch_failures = 0
+        self.batch_ooms_injected = 0
 
     # ------------------------------------------------------------------ #
     def stalled_until(self, replica: int, now_ms: float) -> Optional[float]:
@@ -209,6 +223,21 @@ class FaultInjector:
         if failed:
             self.batch_failures += 1
         return failed
+
+    def batch_ooms(self, batch_id: int) -> bool:
+        """Deterministic per-dispatch simulated-OOM draw.
+
+        Same contract as :meth:`batch_fails`: keyed by the global batch
+        id, so the draw is a pure function of ``(seed, batch_id)`` and
+        independent of event interleaving.
+        """
+        if self.plan.oom_rate <= 0:
+            return False
+        draw = random.Random(f"{self.plan.seed}/oom/{batch_id}").random()
+        oomed = draw < self.plan.oom_rate
+        if oomed:
+            self.batch_ooms_injected += 1
+        return oomed
 
     def stalls_for(self, replica: int) -> int:
         """Stall windows fully elapsed so far on ``replica``."""

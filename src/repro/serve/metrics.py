@@ -64,6 +64,9 @@ class ServingMetrics:
     hedge_wins: int = 0
     replica_stalls: int = 0
     batch_failures: int = 0
+    oom_events: int = 0
+    ladder_steps: int = 0
+    oom_degraded: int = 0
     balancer: str = "round_robin"
     per_replica: List[Dict[str, float]] = dataclasses.field(
         default_factory=list
@@ -82,6 +85,9 @@ class ServingMetrics:
             ["hedges", f"{self.hedges} ({self.hedge_wins} won)"],
             ["replica stalls", str(self.replica_stalls)],
             ["batch failures", str(self.batch_failures)],
+            ["oom events", str(self.oom_events)],
+            ["ladder steps taken", str(self.ladder_steps)],
+            ["oom-degraded requests", str(self.oom_degraded)],
             ["balancer", self.balancer],
             ["deadline misses", str(self.deadline_misses)],
             ["makespan", f"{self.makespan_ms:.1f} ms"],
@@ -127,6 +133,7 @@ class ServingMetrics:
                 f"{100 * r['kmap_hit_rate']:.1f}%",
                 str(int(r["stalls"])),
                 str(int(r["failures"])),
+                str(int(r.get("ooms", 0))),
                 str(int(r["retries_served"])),
                 str(int(r["hedges_served"])),
             ]
@@ -134,7 +141,7 @@ class ServingMetrics:
         ]
         return format_table(
             ["replica", "batches", "busy ms", "util", "kmap hits",
-             "stalls", "failures", "retries", "hedges"],
+             "stalls", "failures", "ooms", "retries", "hedges"],
             rows,
             title=f"cluster summary ({self.balancer} balancer)",
         )
@@ -155,6 +162,8 @@ def compute_metrics(
     stage_us_totals: Optional[Dict[str, float]] = None,
     replica_stalls: int = 0,
     batch_failures: int = 0,
+    oom_events: int = 0,
+    ladder_steps: int = 0,
     balancer: str = "round_robin",
     per_replica: Optional[List[Dict[str, float]]] = None,
 ) -> ServingMetrics:
@@ -212,6 +221,9 @@ def compute_metrics(
         hedge_wins=sum(1 for o in outcomes if o.hedge_won),
         replica_stalls=replica_stalls,
         batch_failures=batch_failures,
+        oom_events=oom_events,
+        ladder_steps=ladder_steps,
+        oom_degraded=sum(1 for o in outcomes if o.ladder),
         balancer=balancer,
         per_replica=replica_rows,
     )

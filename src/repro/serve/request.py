@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Optional
+from typing import Optional, Tuple
 
 
 class RequestStatus(enum.Enum):
@@ -72,7 +72,9 @@ class RequestOutcome:
     batch completion, queueing and any retry backoff included.
     ``attempts`` counts dispatches (1 = first try succeeded); ``hedged``
     marks requests whose batch was duplicated onto a second replica, and
-    ``hedge_won`` marks those the hedge finished first for.
+    ``hedge_won`` marks those the hedge finished first for.  ``ladder``
+    lists the degradation-ladder rungs taken to recover the request's
+    batch from a simulated OOM (empty when memory never ran out).
     """
 
     request: InferenceRequest
@@ -88,6 +90,7 @@ class RequestOutcome:
     attempts: int = 1
     hedged: bool = False
     hedge_won: bool = False
+    ladder: Tuple[str, ...] = ()
 
     @property
     def completed(self) -> bool:

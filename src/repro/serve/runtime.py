@@ -45,7 +45,8 @@ import dataclasses
 import heapq
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import AdmissionError, ConfigError
+from repro.errors import AdmissionError, ConfigError, SimulatedOOMError
+from repro.gpusim.engine import enforce_memory_budget, memory_budget_bytes
 from repro.hw.specs import DeviceSpec, get_device
 from repro.models.registry import Workload, get_workload
 from repro.nn.context import ExecutionContext, FixedPolicy, GroupPolicy, LayerConfig
@@ -57,6 +58,12 @@ from repro.serve.cache import KmapCache, KmapEntry, PolicyCache, PolicyKey
 from repro.serve.faults import NO_FAULTS, FaultInjector, FaultPlan
 from repro.serve.metrics import ServingMetrics, compute_metrics
 from repro.serve.request import InferenceRequest, RequestOutcome, RequestStatus
+from repro.resilience import (
+    DegradationLadder,
+    ExecState,
+    model_footprint,
+    model_weight_bytes,
+)
 from repro.sparse.tensor import SparseTensor
 
 
@@ -111,6 +118,14 @@ class ServeConfig:
             (:func:`repro.analyze.lint_model`) and reject models with
             error-level findings (:class:`~repro.errors.AdmissionError`)
             before any replica accepts traffic for them.
+        mem_headroom: fraction of each replica's DRAM reserved for what
+            the simulator does not trace (CUDA context, fragmentation);
+            the usable budget is ``dram_bytes * (1 - mem_headroom)``.  A
+            batch whose modeled peak exceeds its replica's budget raises
+            a simulated OOM and is recovered in place via the degradation
+            ladder (:mod:`repro.resilience`); admission rejects models
+            whose static weight footprint alone exceeds the smallest
+            replica budget.
     """
 
     device: str = "a100"
@@ -136,6 +151,7 @@ class ServeConfig:
     timeout_ms: float = 0.0
     hedge_ms: float = 0.0
     lint_admission: bool = True
+    mem_headroom: float = 0.1
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -164,6 +180,10 @@ class ServeConfig:
             raise ConfigError("retry_backoff_ms must be non-negative")
         if self.timeout_ms < 0 or self.hedge_ms < 0:
             raise ConfigError("timeout_ms / hedge_ms must be non-negative")
+        if not 0.0 <= self.mem_headroom < 1.0:
+            raise ConfigError(
+                f"mem_headroom must be in [0, 1), got {self.mem_headroom}"
+            )
 
 
 @dataclasses.dataclass
@@ -180,6 +200,7 @@ class DeviceReplica:
     failures: int = 0
     retries_served: int = 0
     hedges_served: int = 0
+    ooms: int = 0
 
 
 @dataclasses.dataclass
@@ -195,6 +216,7 @@ class _Attempt:
     policy_hit: bool
     degraded: bool
     kmap_hits: List[bool]
+    ladder: Tuple[str, ...] = ()
 
 
 class SceneProvider:
@@ -256,6 +278,10 @@ class ServingRuntime:
         self.policy_cache = policy_cache or PolicyCache()
         self.scenes = SceneProvider(scale=self.config.scene_scale)
         self.default_config = LayerConfig()
+        self.ladder = DegradationLadder()
+        self.memory_budget = memory_budget_bytes(
+            self.device, self.config.mem_headroom
+        )
         self._models: Dict[str, Module] = {}
         self._tuned_inline: set = set()
 
@@ -265,7 +291,21 @@ class ServingRuntime:
         device/precision and reject error-level findings before any
         replica accepts traffic (the load-time check the static analyzer
         exists for — a bad model should fail admission, not crash
-        mid-batch)."""
+        mid-batch).  Memory-aware admission is unconditional: a model
+        whose static weight footprint — a lower bound on any execution's
+        resident memory, before a single feature is allocated — already
+        exceeds the smallest replica budget can never be served, not even
+        by the bottom of the degradation ladder."""
+        weights = model_weight_bytes(model, self.precision)
+        if weights > self.memory_budget:
+            raise AdmissionError(
+                f"model for {workload_id!r} rejected at admission: static "
+                f"weight footprint {weights / (1 << 30):.3f} GiB exceeds "
+                f"the replica memory budget "
+                f"{self.memory_budget / (1 << 30):.3f} GiB on "
+                f"{self.device.name} (headroom "
+                f"{self.config.mem_headroom:.0%})"
+            )
         if not self.config.lint_admission:
             return
         from repro.analyze import Severity, lint_model
@@ -375,12 +415,22 @@ class ServingRuntime:
         batch: Sequence[InferenceRequest],
         now: float,
         replica: DeviceReplica,
-    ) -> Tuple[float, bool, bool, List[bool], Dict[str, float]]:
+        forced_oom: bool = False,
+    ) -> Tuple[float, bool, bool, List[bool], Dict[str, float], Tuple[str, ...]]:
         """Run one batch on ``replica``; returns (service_ms, policy_hit,
-        degraded, per-request kmap hits, stage-breakdown in us).
+        degraded, per-request kmap hits, stage-breakdown in us, ladder
+        rungs taken).
 
         Kernel-map reuse is against *the replica's own* cache: a stream's
         warm state helps only the replica that built it.
+
+        Memory enforcement: the batch's modeled peak (resident weights and
+        features plus the trace's liveness-aware peak workspace) is checked
+        against the replica's budget.  On a simulated OOM — natural or
+        injected via ``forced_oom`` — the batch is *recovered in place*:
+        the degradation ladder plans a lower-footprint configuration
+        (kernel maps stay warm across the retry) and the batch re-executes,
+        its requests resolving DEGRADED instead of FAILED.
         """
         workload_id = batch[0].workload_id
         workload = get_workload(workload_id)
@@ -399,16 +449,25 @@ class ServingRuntime:
             adaptive_tiling=not degraded,
         )
         kmap_hits: List[bool] = []
+        samples: List[SparseTensor] = []
         preprocess_us = 0.0
+        feature_bytes = 0.0
+        itemsize = float(self.precision.itemsize)
         for request in batch:
             sample = self.scenes.sample(workload, request)
+            samples.append(sample)
             entry = kmap_cache.get(request.scene_key)
             hit = entry is not None
             kmap_hits.append(hit)
             if hit:
                 ctx.precharge(entry.charge_keys)
             before = ctx.charged_keys()
+            shapes: List[Tuple[int, int, int, int]] = []
+            ctx.recorder = lambda signature=None, kmap=None, c_in=0, c_out=0, label="": (
+                shapes.append((c_in, c_out, kmap.num_inputs, kmap.num_outputs))
+            )
             model(sample, ctx)
+            ctx.recorder = None
             if not hit:
                 kmap_cache.put(
                     request.scene_key,
@@ -418,18 +477,84 @@ class ServingRuntime:
                     ),
                 )
             preprocess_us += self._preprocess_us(sample)
+            # One sample's feature peak: the largest live (input + output)
+            # activation pair along the network; batch members co-reside.
+            feature_bytes += max(
+                (itemsize * (ni * ci + no * co) for ci, co, ni, no in shapes),
+                default=0.0,
+            )
+
+        budget = memory_budget_bytes(replica.spec, self.config.mem_headroom)
+        resident = model_weight_bytes(model, self.precision) + feature_bytes
+        ladder_taken: Tuple[str, ...] = ()
+        retry_us = 0.0
+        try:
+            peak = enforce_memory_budget(
+                ctx.trace, replica.spec,
+                resident_bytes=resident, budget_bytes=budget,
+            )
+            if forced_oom:
+                raise SimulatedOOMError(
+                    f"injected OOM on {replica.spec.name}",
+                    peak_bytes=peak, budget_bytes=budget,
+                )
+        except SimulatedOOMError:
+            replica.ooms += 1
+            memo: Dict[ExecState, float] = {}
+
+            def footprint(state: ExecState) -> float:
+                # Warm footprints: the retry reuses the kernel maps the
+                # failed attempt already built, so one-shot map
+                # construction is not part of any candidate's peak.
+                if state not in memo:
+                    memo[state] = model_footprint(
+                        model,
+                        samples,
+                        device=replica.spec,
+                        precision=state.precision,
+                        policy=FixedPolicy(state.config),
+                        batch_chunks=state.batch_chunks,
+                        warm=True,
+                    ).total_bytes
+                return memo[state]
+
+            start = ExecState(
+                config=self.default_config, precision=self.precision
+            )
+            effective = budget
+            if forced_oom:
+                # An injected fault must force real recovery even when the
+                # true budget fits: cap it just under the start footprint
+                # so at least one strictly-reducing rung is taken.
+                effective = min(budget, footprint(start) * (1.0 - 1e-6))
+            plan = self.ladder.plan(footprint, start, effective)
+            ladder_taken = plan.taken
+            retry = ExecutionContext(
+                device=self.device,
+                precision=plan.final.precision,
+                policy=FixedPolicy(plan.final.config),
+                simulate_only=True,
+            )
+            retry.precharge(ctx.charged_keys())  # maps survive the OOM
+            for sample in samples:
+                model(sample, retry)
+            retry_us = retry.latency_us()
+            degraded = True
 
         stages = dict(ctx.breakdown_us())
         stages["host/preprocess"] = preprocess_us
         stages["host/dispatch"] = self.config.dispatch_overhead_us
         if extra_ms:
             stages["host/inline_tune"] = extra_ms * 1e3
+        if retry_us:
+            stages["resilience/ladder"] = retry_us
         service_ms = (
             ctx.latency_us()
+            + retry_us
             + preprocess_us
             + self.config.dispatch_overhead_us
         ) / 1e3 + extra_ms
-        return service_ms, policy_hit, degraded, kmap_hits, stages
+        return service_ms, policy_hit, degraded, kmap_hits, stages, ladder_taken
 
     # ------------------------------------------------------------------ #
     def serve(self, requests: Sequence[InferenceRequest]) -> ServeResult:
@@ -478,6 +603,8 @@ class ServingRuntime:
         arrivals_pending = len(requests)
         retries_pending = 0
         batch_counter = 0
+        oom_events = 0
+        ladder_steps = 0
 
         def push_event(at: float, kind: int, payload: object) -> None:
             nonlocal seq
@@ -518,13 +645,18 @@ class ServingRuntime:
             batch: List[InferenceRequest], replica: DeviceReplica, now: float
         ) -> _Attempt:
             """Occupy ``replica`` with one copy of ``batch``."""
-            nonlocal batch_counter
-            service_ms, policy_hit, degraded, kmap_hits, stages = (
-                self._execute(batch, now, replica)
-            )
-            service_ms *= injector.slow_factor(replica.index)
+            nonlocal batch_counter, oom_events, ladder_steps
             batch_id = batch_counter
             batch_counter += 1
+            forced_oom = injector.batch_ooms(batch_id)
+            ooms_before = replica.ooms
+            service_ms, policy_hit, degraded, kmap_hits, stages, ladder = (
+                self._execute(batch, now, replica, forced_oom=forced_oom)
+            )
+            if replica.ooms > ooms_before:
+                oom_events += 1
+                ladder_steps += len(ladder)
+            service_ms *= injector.slow_factor(replica.index)
             failed = injector.batch_fails(batch_id)
             if failed:
                 # The attempt errors out partway through; the replica still
@@ -553,6 +685,7 @@ class ServingRuntime:
                 policy_hit=policy_hit,
                 degraded=degraded,
                 kmap_hits=kmap_hits,
+                ladder=ladder,
             )
 
         def dispatch(batch: List[InferenceRequest], now: float) -> None:
@@ -605,6 +738,7 @@ class ServingRuntime:
                         attempts=attempts[request.request_id],
                         hedged=hedge is not None,
                         hedge_won=hedge is not None and winner is hedge,
+                        ladder=winner.ladder,
                     )
                 return
             # Every copy failed: the error surfaces once the last copy
@@ -694,6 +828,7 @@ class ServingRuntime:
                 "kmap_hit_rate": r.kmap_cache.hit_rate,
                 "stalls": float(injector.stalls_for(r.index)),
                 "failures": float(r.failures),
+                "ooms": float(r.ooms),
                 "retries_served": float(r.retries_served),
                 "hedges_served": float(r.hedges_served),
             }
@@ -711,6 +846,8 @@ class ServingRuntime:
             stage_us_totals=stage_totals,
             replica_stalls=injector.stall_windows,
             batch_failures=injector.batch_failures,
+            oom_events=oom_events,
+            ladder_steps=ladder_steps,
             balancer=config.balancer,
             per_replica=per_replica,
         )
