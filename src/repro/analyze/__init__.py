@@ -19,6 +19,14 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Sequence
 
+from repro.analyze.depgraph import (
+    DepEdge,
+    DependenceGraph,
+    check_dependences,
+    check_depgraph,
+    check_latency_model,
+    depgraph_report_json,
+)
 from repro.analyze.ir import (
     ChannelMismatch,
     IRNode,
@@ -32,6 +40,14 @@ from repro.analyze.propagate import (
     SymbolicTracer,
     register_handler,
     trace_model,
+)
+from repro.analyze.ranges import (
+    LayerRange,
+    RangeReport,
+    ValueRange,
+    model_range_report,
+    precision_drop_veto,
+    propagate_ranges,
 )
 from repro.analyze.rules import (
     RULES,
@@ -51,6 +67,7 @@ from repro.analyze.tracecheck import (
     check_trace,
     scatter_conflicts,
 )
+from repro.gpusim.trace import KernelTrace
 from repro.hw.specs import DeviceSpec
 from repro.nn.module import Module
 from repro.precision import Precision
@@ -63,6 +80,46 @@ def analyze_model(
     return trace_model(model, in_channels=in_channels, ndim=ndim)
 
 
+def collect_execution_trace(
+    model: Module,
+    in_channels: int,
+    device: "DeviceSpec | str" = "a100",
+    precision: "Precision | str" = Precision.FP16,
+    policy: Optional[Any] = None,
+    num_points: int = 150,
+    seed: int = 0,
+) -> Optional["KernelTrace"]:
+    """Simulate one forward pass on a small synthetic scene and return the
+    annotated kernel trace (``None`` when the model cannot execute — the
+    static rules still run without it)."""
+    import numpy as np
+
+    from repro.hw import get_device
+    from repro.nn.context import ExecutionContext
+    from repro.sparse.tensor import SparseTensor
+
+    rng = np.random.default_rng(seed)
+    coords = np.unique(
+        rng.integers(0, 24, size=(num_points, 3), dtype=np.int32), axis=0
+    )
+    # Leading batch column (single scene).
+    coords = np.concatenate(
+        [np.zeros((len(coords), 1), dtype=np.int32), coords], axis=1
+    )
+    feats = rng.standard_normal((len(coords), in_channels)).astype(np.float32)
+    ctx = ExecutionContext(
+        device=get_device(device),
+        precision=Precision.parse(precision),
+        policy=policy,
+        simulate_only=True,
+    )
+    try:
+        model(SparseTensor(coords=coords, feats=feats), ctx)
+    except Exception:
+        return None
+    return ctx.trace
+
+
 def lint_model(
     model: Module,
     *,
@@ -72,19 +129,34 @@ def lint_model(
     policy: Optional[Any] = None,
     ndim: int = 3,
     rules: Optional[Sequence[str]] = None,
+    trace: Optional["KernelTrace"] = None,
+    collect_trace: bool = False,
 ) -> List[Finding]:
     """Statically lint one model for a deployment target.
 
-    Returns findings sorted most severe first (empty list = clean).
+    ``trace`` supplies an executed kernel trace for the dependence and
+    liveness rules; ``collect_trace=True`` simulates a small forward pass
+    to obtain one (3-D models only).  Without either, trace-level rules
+    are skipped.  Returns findings sorted most severe first (empty list =
+    clean).
     """
     from repro.hw import get_device
 
+    if trace is None and collect_trace and ndim == 3:
+        trace = collect_execution_trace(
+            model,
+            in_channels,
+            device=device,
+            precision=precision,
+            policy=policy,
+        )
     ir = trace_model(model, in_channels=in_channels, ndim=ndim)
     ctx = LintContext(
         ir=ir,
         device=get_device(device),
         precision=Precision.parse(precision),
         policy=policy,
+        trace=trace,
     )
     return run_rules(ctx, rules=rules)
 
@@ -96,6 +168,7 @@ def lint_workload(
     precision: "Precision | str" = Precision.FP16,
     policy: Optional[Any] = None,
     rules: Optional[Sequence[str]] = None,
+    collect_trace: bool = False,
 ) -> List[Finding]:
     """Lint a bundled workload's model with its dataset's input channels."""
     from repro.models import get_workload
@@ -109,32 +182,46 @@ def lint_workload(
         precision=precision,
         policy=policy,
         rules=rules,
+        collect_trace=collect_trace,
     )
 
 
 __all__ = [
     "ChannelMismatch",
+    "DepEdge",
+    "DependenceGraph",
     "Finding",
     "HANDLERS",
     "IRNode",
     "JoinEvent",
+    "LayerRange",
     "LintContext",
     "MapEvent",
     "ModelIR",
     "RULES",
+    "RangeReport",
     "Severity",
     "SymbolicTensor",
     "SymbolicTracer",
     "TraceViolation",
+    "ValueRange",
     "analyze_model",
     "assert_trace_ok",
     "check_conv_trace",
+    "check_dependences",
+    "check_depgraph",
+    "check_latency_model",
     "check_scatter_races",
     "check_trace",
+    "collect_execution_trace",
+    "depgraph_report_json",
     "lint_model",
     "lint_rule",
     "lint_workload",
     "max_severity",
+    "model_range_report",
+    "precision_drop_veto",
+    "propagate_ranges",
     "register_handler",
     "run_rules",
     "scatter_conflicts",

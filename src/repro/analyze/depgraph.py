@@ -1,0 +1,455 @@
+"""Launch-level dependence and liveness analysis over kernel traces.
+
+Every annotated :class:`~repro.gpusim.trace.KernelLaunch` names the
+buffers it reads and writes (:class:`~repro.gpusim.trace.BufferAccess`).
+From one serialized trace this module builds the dependence DAG —
+
+* **RAW** edges from a buffer's last writer to each subsequent reader,
+* **WAR** edges from each reader to the buffer's next writer,
+* **WAW** edges between consecutive writers,
+
+— and checks the cross-launch invariants that per-launch sanitizers
+(:mod:`repro.analyze.tracecheck`) cannot see:
+
+* ``uninitialized-read`` — a ``ws:`` buffer is read but never written;
+* ``raw-order`` — a ``ws:`` buffer is read before its only writes (a
+  reordered producer/consumer pair);
+* ``workspace-lifetime`` — a ``ws:`` buffer is written but never
+  consumed (a leaked staging buffer), or a launch touches more live
+  workspace than its ``workspace_bytes`` accounts for (use-after-free
+  against the PR 4 liveness model: the buffer would have been freed);
+* ``unordered-conflicting-writes`` — two launches plain-write the same
+  buffer with no RAW/WAR path ordering them and no atomics resolving
+  the conflict (the launch-level generalization of the scatter race
+  detector).
+
+From the same DAG the analyzer computes the critical path under
+:func:`~repro.gpusim.engine.estimate_launch_us` node weights.  Because
+the serialized-stream estimate sums every launch, it can never be below
+the longest dependence chain — ``check_latency_model`` cross-validates
+exactly that and reports ``critical-path-bound`` violations when a
+future engine change breaks the invariant.
+
+Launches with empty read/write sets are treated as unannotated and do
+not participate (they still count toward serialized latency).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analyze.tracecheck import TraceViolation
+from repro.gpusim.engine import estimate_launch_us, estimate_trace_us
+from repro.gpusim.trace import KernelLaunch, KernelTrace
+from repro.hw.specs import DeviceSpec
+from repro.precision import Precision
+
+#: Absolute slack (bytes) for float byte comparisons.
+_EPS_BYTES = 0.5
+#: Relative slack for latency comparisons (summation-order noise).
+_EPS_REL = 1e-6
+
+#: Edge kinds, in reporting order.
+EDGE_KINDS = ("RAW", "WAR", "WAW")
+
+
+@dataclasses.dataclass(frozen=True)
+class DepEdge:
+    """One dependence edge between launch indices ``src -> dst``."""
+
+    src: int
+    dst: int
+    kind: str
+    buffer: str
+
+
+class DependenceGraph:
+    """The launch-level dependence DAG of one serialized trace."""
+
+    def __init__(self, launches: Sequence[KernelLaunch], edges: List[DepEdge]):
+        self.launches = list(launches)
+        self.edges = edges
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(cls, trace: "KernelTrace | Sequence[KernelLaunch]") -> "DependenceGraph":
+        """Single pass over program order with per-buffer last-writer and
+        readers-since-write state; near-linear in trace size."""
+        launches = list(trace)
+        edges: List[DepEdge] = []
+        seen: set = set()
+        last_writer: Dict[str, int] = {}
+        readers_since: Dict[str, List[int]] = {}
+
+        def add(src: int, dst: int, kind: str, buffer: str) -> None:
+            if src == dst:
+                return  # read-modify-write within one launch
+            key = (src, dst, kind)
+            if key in seen:
+                return
+            seen.add(key)
+            edges.append(DepEdge(src, dst, kind, buffer))
+
+        for i, launch in enumerate(launches):
+            read_here = set()
+            for access in launch.reads:
+                writer = last_writer.get(access.buffer)
+                if writer is not None:
+                    add(writer, i, "RAW", access.buffer)
+                readers_since.setdefault(access.buffer, []).append(i)
+                read_here.add(access.buffer)
+            for access in launch.writes:
+                writer = last_writer.get(access.buffer)
+                for reader in readers_since.get(access.buffer, ()):
+                    add(reader, i, "WAR", access.buffer)
+                if writer is not None:
+                    add(writer, i, "WAW", access.buffer)
+                last_writer[access.buffer] = i
+                # A read-modify-write launch stays a reader of record: any
+                # later writer racing with its write also races with its
+                # read, so the WAR ordering against it is real.
+                readers_since[access.buffer] = (
+                    [i] if access.buffer in read_here else []
+                )
+        return cls(launches, edges)
+
+    # ------------------------------------------------------------------ #
+    def edge_counts(self) -> Dict[str, int]:
+        counts = {kind: 0 for kind in EDGE_KINDS}
+        for edge in self.edges:
+            counts[edge.kind] += 1
+        return counts
+
+    def _node_weights(
+        self, device: DeviceSpec, precision: Precision
+    ) -> List[float]:
+        return [
+            estimate_launch_us(launch, device, precision)
+            for launch in self.launches
+        ]
+
+    def critical_path(
+        self, device: DeviceSpec, precision: Precision
+    ) -> Tuple[List[int], float]:
+        """Longest dependence chain: launch indices and its latency (us).
+
+        Edges only ever point forward in program order, so program order
+        is a topological order and one forward DP suffices.
+        """
+        n = len(self.launches)
+        if n == 0:
+            return [], 0.0
+        weights = self._node_weights(device, precision)
+        preds: Dict[int, List[int]] = {}
+        for edge in self.edges:
+            preds.setdefault(edge.dst, []).append(edge.src)
+        best = list(weights)
+        best_pred: List[Optional[int]] = [None] * n
+        for i in range(n):
+            for p in preds.get(i, ()):
+                candidate = best[p] + weights[i]
+                if candidate > best[i]:
+                    best[i] = candidate
+                    best_pred[i] = p
+        end = max(range(n), key=lambda i: best[i])
+        path = [end]
+        while best_pred[path[-1]] is not None:
+            path.append(best_pred[path[-1]])  # type: ignore[arg-type]
+        path.reverse()
+        return path, best[end]
+
+    def parallelism(self, device: DeviceSpec, precision: Precision) -> float:
+        """Available launch parallelism: serialized latency over span."""
+        _, span = self.critical_path(device, precision)
+        if span <= 0.0:
+            return 1.0
+        serialized = sum(self._node_weights(device, precision))
+        return serialized / span
+
+    # ------------------------------------------------------------------ #
+    def to_json(
+        self, device: DeviceSpec, precision: Precision, ndigits: int = 3
+    ) -> Dict[str, object]:
+        """Deterministic JSON document (floats rounded for stability)."""
+        path, span = self.critical_path(device, precision)
+        weights = self._node_weights(device, precision)
+        serialized = sum(weights)
+        return {
+            "device": device.name,
+            "precision": precision.value,
+            "launches": len(self.launches),
+            "edges": self.edge_counts(),
+            "critical_path_us": round(span, ndigits),
+            "serialized_us": round(serialized, ndigits),
+            "parallelism": round(
+                serialized / span if span > 0 else 1.0, ndigits
+            ),
+            "critical_path": [
+                {
+                    "index": i,
+                    "name": self.launches[i].name,
+                    "kind": self.launches[i].kind.value,
+                    "us": round(weights[i], ndigits),
+                }
+                for i in path
+            ],
+        }
+
+    def to_dot(self) -> str:
+        """Graphviz DOT export (RAW solid, WAR dashed, WAW dotted)."""
+        styles = {"RAW": "solid", "WAR": "dashed", "WAW": "dotted"}
+        lines = ["digraph depgraph {", "  rankdir=TB;", "  node [shape=box];"]
+        for i, launch in enumerate(self.launches):
+            name = launch.name.replace('"', "'")
+            lines.append(f'  n{i} [label="{i}: {name}"];')
+        for edge in self.edges:
+            buffer = edge.buffer.replace('"', "'")
+            lines.append(
+                f'  n{edge.src} -> n{edge.dst} '
+                f'[style={styles[edge.kind]}, label="{edge.kind} {buffer}"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# Cross-launch invariant checks
+# ---------------------------------------------------------------------- #
+def _buffer_extents(launches: Sequence[KernelLaunch]) -> Dict[str, float]:
+    """Byte extent of each buffer: the largest access observed."""
+    extents: Dict[str, float] = {}
+    for launch in launches:
+        for access in list(launch.reads) + list(launch.writes):
+            extents[access.buffer] = max(
+                extents.get(access.buffer, 0.0), float(access.nbytes)
+            )
+    return extents
+
+
+def _reachable_via(
+    n: int, edges: Iterable[DepEdge], kinds: Tuple[str, ...]
+) -> List[int]:
+    """Ancestor bitsets over the given edge kinds (program order is
+    topological, so one forward pass closes the relation)."""
+    preds: Dict[int, List[int]] = {}
+    for edge in edges:
+        if edge.kind in kinds:
+            preds.setdefault(edge.dst, []).append(edge.src)
+    ancestors = [0] * n
+    for i in range(n):
+        acc = 0
+        for p in preds.get(i, ()):
+            acc |= ancestors[p] | (1 << p)
+        ancestors[i] = acc
+    return ancestors
+
+
+def check_dependences(
+    trace: "KernelTrace | Sequence[KernelLaunch]",
+) -> List[TraceViolation]:
+    """Use-before-def, workspace-lifetime and write-ordering checks."""
+    launches = list(trace)
+    graph = DependenceGraph.build(launches)
+    violations: List[TraceViolation] = []
+    extents = _buffer_extents(launches)
+
+    first_write: Dict[str, int] = {}
+    first_read: Dict[str, int] = {}
+    read_buffers: set = set()
+    for i, launch in enumerate(launches):
+        for access in launch.reads:
+            first_read.setdefault(access.buffer, i)
+            read_buffers.add(access.buffer)
+        for access in launch.writes:
+            first_write.setdefault(access.buffer, i)
+
+    # --- use-before-def / raw-order on workspace buffers --------------- #
+    for buffer, reader in sorted(first_read.items()):
+        if not buffer.startswith("ws:"):
+            continue
+        writer = first_write.get(buffer)
+        if writer is None:
+            violations.append(
+                TraceViolation(
+                    invariant="uninitialized-read",
+                    launch=launches[reader].name,
+                    message=(
+                        f"workspace buffer {buffer!r} is read but no launch "
+                        f"in the trace ever writes it (dropped producer?)"
+                    ),
+                )
+            )
+        elif writer > reader:
+            violations.append(
+                TraceViolation(
+                    invariant="raw-order",
+                    launch=launches[reader].name,
+                    message=(
+                        f"workspace buffer {buffer!r} is read at launch "
+                        f"{reader} before its first write at launch {writer} "
+                        f"({launches[writer].name!r}): missing RAW ordering"
+                    ),
+                )
+            )
+
+    # --- leaked staging buffers (written, never consumed) -------------- #
+    for buffer, writer in sorted(first_write.items()):
+        if buffer.startswith("ws:") and buffer not in read_buffers:
+            violations.append(
+                TraceViolation(
+                    invariant="workspace-lifetime",
+                    launch=launches[writer].name,
+                    message=(
+                        f"workspace buffer {buffer!r} is written but never "
+                        f"read: leaked staging allocation of "
+                        f"{extents.get(buffer, 0.0):.0f} bytes"
+                    ),
+                )
+            )
+
+    # --- per-launch liveness accounting (use-after-free) ---------------- #
+    # A launch needs the bytes *it* accesses to be live — its own access
+    # extents, not the buffer's global maximum (the same scoped buffer
+    # name recurs across samples of different sizes).
+    for launch in launches:
+        touched: Dict[str, float] = {}
+        for access in list(launch.reads) + list(launch.writes):
+            if access.workspace:
+                touched[access.buffer] = max(
+                    touched.get(access.buffer, 0.0), float(access.nbytes)
+                )
+        live = sum(touched.values())
+        if live > float(launch.workspace_bytes) + _EPS_BYTES:
+            names = ", ".join(sorted(touched))
+            violations.append(
+                TraceViolation(
+                    invariant="workspace-lifetime",
+                    launch=launch.name,
+                    message=(
+                        f"launch touches {live:.0f} bytes of live workspace "
+                        f"({names}) but accounts only "
+                        f"{float(launch.workspace_bytes):.0f} "
+                        f"workspace_bytes: buffers it relies on would "
+                        f"already be freed"
+                    ),
+                )
+            )
+
+    # --- unordered conflicting plain writes ----------------------------- #
+    # Two plain (non-atomic) writers of one buffer race unless a RAW or
+    # WAR chain pins their relative order; a bare WAW edge does not — a
+    # dependence-preserving parallel scheduler is free to reorder it.
+    plain_writers: Dict[str, List[int]] = {}
+    atomic_only: Dict[Tuple[str, int], bool] = {}
+    for i, launch in enumerate(launches):
+        by_buffer: Dict[str, List[bool]] = {}
+        for access in launch.writes:
+            by_buffer.setdefault(access.buffer, []).append(access.atomic)
+        for buffer, atomics in by_buffer.items():
+            if all(atomics):
+                continue  # fully atomic: hardware-ordered
+            writers = plain_writers.setdefault(buffer, [])
+            if writers and writers[-1] == i:
+                continue
+            writers.append(i)
+    conflicts = {
+        buffer: writers
+        for buffer, writers in plain_writers.items()
+        if len(writers) > 1
+    }
+    if conflicts:
+        ancestors = _reachable_via(
+            len(launches), graph.edges, ("RAW", "WAR")
+        )
+        for buffer, writers in sorted(conflicts.items()):
+            for a, b in zip(writers, writers[1:]):
+                if not (ancestors[b] >> a) & 1:
+                    violations.append(
+                        TraceViolation(
+                            invariant="unordered-conflicting-writes",
+                            launch=launches[b].name,
+                            message=(
+                                f"launches {launches[a].name!r} and "
+                                f"{launches[b].name!r} both plain-write "
+                                f"buffer {buffer!r} with no RAW/WAR path "
+                                f"ordering them: non-deterministic final "
+                                f"value"
+                            ),
+                        )
+                    )
+    return violations
+
+
+def check_latency_model(
+    trace: "KernelTrace | Sequence[KernelLaunch]",
+    device: DeviceSpec,
+    precision: Precision,
+    graph: Optional[DependenceGraph] = None,
+) -> List[TraceViolation]:
+    """Cross-validate the serialized-stream estimate against the DAG
+    critical-path lower bound."""
+    launches = list(trace)
+    if graph is None:
+        graph = DependenceGraph.build(launches)
+    _, span = graph.critical_path(device, precision)
+    serialized = estimate_trace_us(
+        trace if isinstance(trace, KernelTrace) else KernelTrace(launches),
+        device,
+        precision,
+    )
+    if serialized < span * (1.0 - _EPS_REL) - _EPS_REL:
+        return [
+            TraceViolation(
+                invariant="critical-path-bound",
+                message=(
+                    f"serialized-stream estimate {serialized:.3f} us is "
+                    f"below the dependence critical path {span:.3f} us: "
+                    f"the latency model undercuts its own lower bound"
+                ),
+            )
+        ]
+    return []
+
+
+def check_depgraph(
+    trace: "KernelTrace | Sequence[KernelLaunch]",
+    device: Optional[DeviceSpec] = None,
+    precision: Optional[Precision] = None,
+) -> List[TraceViolation]:
+    """All dependence checks; latency cross-validation when a target is
+    given."""
+    violations = check_dependences(trace)
+    if device is not None and precision is not None:
+        violations.extend(check_latency_model(trace, device, precision))
+    return violations
+
+
+def depgraph_report_json(
+    trace: "KernelTrace | Sequence[KernelLaunch]",
+    device: DeviceSpec,
+    precision: Precision,
+) -> str:
+    """Stable JSON string for CLI export and determinism smokes."""
+    graph = DependenceGraph.build(trace)
+    doc = graph.to_json(device, precision)
+    doc["violations"] = [
+        {
+            "invariant": v.invariant,
+            "launch": v.launch,
+            "message": v.message,
+        }
+        for v in check_depgraph(trace, device, precision)
+    ]
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+__all__ = [
+    "DepEdge",
+    "DependenceGraph",
+    "check_dependences",
+    "check_latency_model",
+    "check_depgraph",
+    "depgraph_report_json",
+]

@@ -72,6 +72,10 @@ class IRNode:
     #: "input" / "output" for network-boundary convolutions whose channel
     #: counts are fixed by the dataset / task (set after the walk).
     boundary: str = ""
+    #: Static weight statistics for the value-range pass (conv nodes):
+    #: the largest |w| and the RMS of the initialized weight tensor.
+    weight_abs_max: Optional[float] = None
+    weight_rms: Optional[float] = None
 
 
 @dataclasses.dataclass(frozen=True)

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Set, Tuple, TypeVar
 
+import numpy as np
+
 from repro.analyze.ir import (
     ChannelMismatch,
     IRNode,
@@ -233,6 +235,7 @@ def _trace_conv(
                 )
             )
 
+    weight = np.asarray(module.weight.data, dtype=np.float64)
     tracer.nodes.append(
         IRNode(
             path=path,
@@ -248,6 +251,10 @@ def _trace_conv(
             transposed=module.transposed,
             pointwise=module.is_pointwise,
             signature=module.signature(x.stride),
+            weight_abs_max=float(np.max(np.abs(weight))) if weight.size else 0.0,
+            weight_rms=float(np.sqrt(np.mean(weight * weight)))
+            if weight.size
+            else 0.0,
         )
     )
     del ndim

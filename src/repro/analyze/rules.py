@@ -36,6 +36,8 @@ import math
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
 from repro.analyze.ir import ModelIR
+from repro.analyze.tracecheck import TraceViolation
+from repro.gpusim.trace import KernelTrace
 from repro.hw.specs import DeviceSpec
 from repro.nn.context import LayerConfig, Role
 from repro.precision import Precision
@@ -108,11 +110,29 @@ class LintContext:
     #: Optional tuned policy (``FixedPolicy``/``GroupPolicy``); ``None``
     #: means the default layer configuration for every signature group.
     policy: Optional[Any] = None
+    #: Optional kernel trace of one executed (or simulated) run; the
+    #: dependence/liveness rules are skipped when no trace is supplied.
+    trace: Optional[KernelTrace] = None
+    _trace_violations: Optional[List[TraceViolation]] = dataclasses.field(
+        default=None, repr=False
+    )
 
     def layer_config(self, signature: Any) -> LayerConfig:
         if self.policy is None:
             return LayerConfig()
         return self.policy.config(signature, Role.FORWARD)
+
+    def trace_violations(self) -> List[TraceViolation]:
+        """Depgraph violations of ``trace`` (memoized; [] without one)."""
+        if self.trace is None:
+            return []
+        if self._trace_violations is None:
+            from repro.analyze.depgraph import check_depgraph
+
+            self._trace_violations = check_depgraph(
+                self.trace, device=self.device, precision=self.precision
+            )
+        return self._trace_violations
 
 
 RuleFunc = Callable[[LintContext], List[Finding]]
@@ -524,6 +544,179 @@ def _rule_dead_submodule(ctx: LintContext) -> List[Finding]:
                     "and checkpointed) but never reached by forward"
                 ),
                 data={},
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------- #
+# Trace-level dependence/liveness rules (need ``ctx.trace``)
+# ---------------------------------------------------------------------- #
+def _depgraph_findings(
+    ctx: LintContext, rule: str, invariants: Sequence[str]
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for violation in ctx.trace_violations():
+        if violation.invariant not in invariants:
+            continue
+        findings.append(
+            Finding(
+                rule=rule,
+                severity=Severity.ERROR,
+                path=violation.launch or "<trace>",
+                message=violation.message,
+                data={"invariant": violation.invariant},
+            )
+        )
+    return findings
+
+
+@lint_rule(
+    "uninitialized-read",
+    "workspace buffers must be written before any launch reads them",
+)
+def _rule_uninitialized_read(ctx: LintContext) -> List[Finding]:
+    return _depgraph_findings(
+        ctx, "uninitialized-read", ("uninitialized-read", "raw-order")
+    )
+
+
+@lint_rule(
+    "workspace-lifetime",
+    "workspace buffers must be consumed and covered by workspace_bytes",
+)
+def _rule_workspace_lifetime(ctx: LintContext) -> List[Finding]:
+    return _depgraph_findings(ctx, "workspace-lifetime", ("workspace-lifetime",))
+
+
+@lint_rule(
+    "unordered-conflicting-writes",
+    "plain writes to one buffer need a RAW/WAR path ordering them",
+)
+def _rule_unordered_writes(ctx: LintContext) -> List[Finding]:
+    return _depgraph_findings(
+        ctx, "unordered-conflicting-writes", ("unordered-conflicting-writes",)
+    )
+
+
+@lint_rule(
+    "critical-path-bound",
+    "serialized latency estimate must dominate the DAG critical path",
+)
+def _rule_critical_path_bound(ctx: LintContext) -> List[Finding]:
+    return _depgraph_findings(
+        ctx, "critical-path-bound", ("critical-path-bound",)
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Value-range rules (static, no trace needed)
+# ---------------------------------------------------------------------- #
+@lint_rule(
+    "fp16-overflow",
+    "propagated value ranges must fit fp16 at every layer boundary",
+)
+def _rule_fp16_overflow(ctx: LintContext) -> List[Finding]:
+    from repro.analyze.ranges import FP16_MAX, propagate_ranges
+
+    report = propagate_ranges(ctx.ir)
+    fp16 = ctx.precision is Precision.FP16
+    findings: List[Finding] = []
+    for layer in report.overflowing():
+        findings.append(
+            Finding(
+                rule="fp16-overflow",
+                severity=Severity.ERROR if fp16 else Severity.WARNING,
+                path=layer.path,
+                message=(
+                    f"expected output magnitude ~{layer.out_range.magnitude:.3g} "
+                    f"exceeds fp16 max {FP16_MAX:.0f}: features "
+                    + (
+                        "overflow to inf at this precision"
+                        if fp16
+                        else "would overflow if storage precision drops to fp16"
+                    )
+                ),
+                data={
+                    "magnitude": layer.out_range.magnitude,
+                    "abs_max": layer.out_range.abs_max,
+                    "rms": layer.out_range.rms,
+                },
+            )
+        )
+    for layer in report.underflowing():
+        findings.append(
+            Finding(
+                rule="fp16-overflow",
+                severity=Severity.WARNING if fp16 else Severity.INFO,
+                path=layer.path,
+                message=(
+                    f"expected output RMS {layer.out_range.rms:.3g} is below "
+                    f"the fp16 normal range: features flush toward zero"
+                ),
+                data={"rms": layer.out_range.rms},
+            )
+        )
+    return findings
+
+
+#: Atomic accumulation over at least this many kernel offsets at fp16 is a
+#: warning (the nondeterministic summation order compounds rounding error).
+ACCUM_CHAIN_WARNING_VOLUME = 27
+
+
+@lint_rule(
+    "accum-order-nondeterminism",
+    "atomic-accumulation dataflows sum in hardware-scheduled order",
+)
+def _rule_accum_order(ctx: LintContext) -> List[Finding]:
+    from repro.kernels.registry import Dataflow
+
+    atomic_dataflows = (
+        Dataflow.FETCH_ON_DEMAND,
+        Dataflow.FETCH_ON_DEMAND_UNFUSED,
+        Dataflow.GATHER_SCATTER_FUSED,
+    )
+    findings: List[Finding] = []
+    for signature, group in sorted(
+        ctx.ir.signature_groups().items(), key=lambda kv: kv[1][0].path
+    ):
+        config = ctx.layer_config(signature)
+        if config.dataflow not in atomic_dataflows:
+            continue
+        volume = 1
+        for k in group[0].kernel_size or (1,):
+            volume *= int(k)
+        if volume <= 1:
+            continue  # single offset: nothing to reorder
+        long_chain = (
+            ctx.precision is Precision.FP16
+            and volume >= ACCUM_CHAIN_WARNING_VOLUME
+        )
+        findings.append(
+            Finding(
+                rule="accum-order-nondeterminism",
+                severity=Severity.WARNING if long_chain else Severity.INFO,
+                path=group[0].path,
+                message=(
+                    f"dataflow {config.dataflow.value} accumulates "
+                    f"{volume} kernel offsets through hardware atomics in "
+                    f"unsorted order: results are not bitwise reproducible "
+                    f"run-to-run"
+                    + (
+                        f"; at fp16 the {volume}-term chain also compounds "
+                        f"rounding error — prefer implicit_gemm or a sorted "
+                        f"reduction"
+                        if long_chain
+                        else ""
+                    )
+                    + f" ({len(group)} layer(s) in group)"
+                ),
+                data={
+                    "dataflow": config.dataflow.value,
+                    "volume": volume,
+                    "group": len(group),
+                },
             )
         )
     return findings

@@ -14,6 +14,10 @@ Commands:
 * ``memory`` — model a workload's DRAM footprint (per-layer feature and
   workspace peaks) and show, per device, whether it fits the memory
   budget and which degradation-ladder rungs recover it when it does not;
+* ``depgraph`` — build the launch-level dependence DAG of one simulated
+  execution, report its critical path and available launch parallelism,
+  and check the dependence/liveness invariants (``--dot``/``--json``
+  export);
 * ``dataflows`` — list the registered sparse convolution dataflows;
 * ``lint`` — statically analyze a model (bundled workload or
   ``module:factory`` import spec) for stride/channel/map/precision
@@ -166,6 +170,7 @@ def _cmd_lint(args) -> int:
         precision=args.precision,
         policy=policy,
         rules=rules,
+        collect_trace=not args.no_trace,
     )
     failing = [f for f in findings if f.severity.rank >= fail_on.rank]
     if args.json:
@@ -331,6 +336,100 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _trace_workload(args):
+    """Simulate ``--batch`` scenes of ``args.workload`` and return
+    ``(workload, model, ctx)`` with the accumulated kernel trace."""
+    from repro.data.datasets import make_sample
+    from repro.hw import get_device
+    from repro.models import get_workload
+    from repro.nn.context import ExecutionContext
+    from repro.precision import Precision
+
+    workload = get_workload(args.workload)
+    model = workload.build_model()
+    model.eval()
+    ctx = ExecutionContext(
+        device=get_device(args.device),
+        precision=Precision.parse(args.precision),
+        simulate_only=True,
+    )
+    for i in range(args.batch):
+        sample = make_sample(
+            workload.dataset,
+            frames=workload.frames,
+            seed=args.seed + i,
+            scale=args.scale,
+        )
+        model(sample, ctx)
+    return workload, model, ctx
+
+
+def _cmd_depgraph(args) -> int:
+    from repro.analyze.depgraph import (
+        DependenceGraph,
+        check_depgraph,
+        depgraph_report_json,
+    )
+    from repro.gpusim.engine import estimate_launch_us
+
+    _validate_target(args.device, args.precision)
+    workload, _, ctx = _trace_workload(args)
+    device, precision, trace = ctx.device, ctx.precision, ctx.trace
+    violations = check_depgraph(trace, device, precision)
+    if args.json:
+        print(depgraph_report_json(trace, device, precision))
+        return 1 if violations else 0
+    graph = DependenceGraph.build(trace)
+    if args.dot:
+        print(graph.to_dot())
+        return 1 if violations else 0
+    counts = graph.edge_counts()
+    path, span = graph.critical_path(device, precision)
+    serialized = sum(
+        estimate_launch_us(l, device, precision) for l in trace
+    )
+    print(
+        f"{workload.id} @ {device.name}/{precision.value} x{args.batch} "
+        f"(scale {args.scale:g}): {len(graph.launches)} launches, "
+        f"{len(graph.edges)} dependence edges "
+        f"(RAW {counts['RAW']}, WAR {counts['WAR']}, WAW {counts['WAW']})"
+    )
+    print(
+        f"serialized {serialized:.1f} us, critical path {span:.1f} us, "
+        f"available launch parallelism {serialized / span:.2f}x"
+        if span > 0
+        else "empty trace"
+    )
+    rows = [
+        [i, f"{estimate_launch_us(graph.launches[i], device, precision):.2f}",
+         graph.launches[i].kind.value, graph.launches[i].name]
+        for i in path[:args.max_rows]
+    ]
+    print()
+    print(
+        format_table(
+            ["#", "us", "kind", "launch"],
+            rows,
+            title=f"critical path ({len(path)} launches"
+            + (
+                f", showing first {args.max_rows}"
+                if len(path) > args.max_rows
+                else ""
+            )
+            + ")",
+        )
+    )
+    if violations:
+        print()
+        for v in violations:
+            where = f" [{v.launch}]" if v.launch else ""
+            print(f"violation {v.invariant}{where}: {v.message}")
+        print(f"{len(violations)} dependence violation(s)")
+        return 1
+    print("\ndependence/liveness invariants: clean")
+    return 0
+
+
 def _cmd_memory(args) -> int:
     from repro.data.datasets import make_sample
     from repro.gpusim import memory_budget_bytes
@@ -356,21 +455,29 @@ def _cmd_memory(args) -> int:
     ]
     mib = float(1 << 20)
 
+    # Static value-range pass: may the ladder's precision-drop rung run?
+    from repro.analyze import precision_drop_veto, trace_model
+
+    veto = precision_drop_veto(
+        trace_model(model, in_channels=workload.dataset_config.in_channels)
+    )
+
     cold = model_footprint(
         model, samples, device=args.device, precision=precision
     )
-    print(
-        f"{workload.id} x{args.batch} ({precision.value}, scale "
-        f"{args.scale:g}): per-layer footprint (cold first run, default "
-        f"dataflow)"
-    )
-    print(cold.table())
-    print(
-        f"\nweights {cold.weights_bytes / mib:.1f} MiB + features "
-        f"{cold.peak_feature_bytes / mib:.1f} MiB + workspace "
-        f"{cold.peak_workspace_bytes / mib:.1f} MiB = "
-        f"{cold.total_bytes / mib:.1f} MiB"
-    )
+    if not args.json:
+        print(
+            f"{workload.id} x{args.batch} ({precision.value}, scale "
+            f"{args.scale:g}): per-layer footprint (cold first run, default "
+            f"dataflow)"
+        )
+        print(cold.table())
+        print(
+            f"\nweights {cold.weights_bytes / mib:.1f} MiB + features "
+            f"{cold.peak_feature_bytes / mib:.1f} MiB + workspace "
+            f"{cold.peak_workspace_bytes / mib:.1f} MiB = "
+            f"{cold.total_bytes / mib:.1f} MiB"
+        )
 
     memo = {}
 
@@ -390,16 +497,18 @@ def _cmd_memory(args) -> int:
     start = ExecState(config=LayerConfig(), precision=precision)
     ladder = DegradationLadder()
     rows = []
+    device_docs = []
     for device in list_devices():
         budget = memory_budget_bytes(device, args.mem_headroom)
         if args.budget_mib is not None:
             budget = min(budget, args.budget_mib * mib)
         if footprint(start) <= budget:
-            verdict, rungs = "fits", "-"
+            verdict, taken = "fits", ()
         else:
-            plan = ladder.plan(footprint, start, budget)
+            plan = ladder.plan(footprint, start, budget, precision_veto=veto)
             verdict = "fits degraded" if plan.fits else "DOES NOT FIT"
-            rungs = " -> ".join(plan.taken) if plan.taken else "-"
+            taken = plan.taken
+        rungs = " -> ".join(taken) if taken else "-"
         rows.append(
             [
                 device.name,
@@ -410,6 +519,42 @@ def _cmd_memory(args) -> int:
                 rungs,
             ]
         )
+        device_docs.append(
+            {
+                "device": device.name,
+                "dram_gib": device.dram_gib,
+                "budget_mib": round(budget / mib, 1),
+                "steady_mib": round(footprint(start) / mib, 1),
+                "verdict": verdict,
+                "ladder": list(taken),
+            }
+        )
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "workload": workload.id,
+                    "precision": precision.value,
+                    "batch": args.batch,
+                    "scale": args.scale,
+                    "mem_headroom": args.mem_headroom,
+                    "budget_cap_mib": args.budget_mib,
+                    "cold_mib": {
+                        "weights": round(cold.weights_bytes / mib, 1),
+                        "features": round(cold.peak_feature_bytes / mib, 1),
+                        "workspace": round(cold.peak_workspace_bytes / mib, 1),
+                        "total": round(cold.total_bytes / mib, 1),
+                    },
+                    "precision_veto": veto,
+                    "devices": device_docs,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
     print()
     print(
         format_table(
@@ -428,6 +573,8 @@ def _cmd_memory(args) -> int:
             ),
         )
     )
+    if veto is not None:
+        print(f"\nprecision-drop rung vetoed: {veto}")
     return 0
 
 
@@ -491,6 +638,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true",
         help="list the registered lint rules and exit",
+    )
+    lint.add_argument(
+        "--no-trace", action="store_true",
+        help="skip the simulated execution that feeds the trace-level "
+             "dependence/liveness rules (static rules only)",
     )
     lint.set_defaults(func=_cmd_lint)
 
@@ -624,7 +776,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap every device's budget at this many MiB (demonstrates "
              "the degradation ladder on tight budgets)",
     )
+    memory.add_argument(
+        "--json", action="store_true",
+        help="print the report as a JSON document instead of tables",
+    )
     memory.set_defaults(func=_cmd_memory)
+
+    depgraph = sub.add_parser(
+        "depgraph",
+        help="launch-level dependence DAG, critical path and invariants",
+        description=(
+            "Simulate a workload execution, build the launch-level "
+            "dependence DAG from the kernels' buffer read/write sets, "
+            "report the critical path and available launch parallelism, "
+            "and check use-before-def / workspace-lifetime / write-order "
+            "invariants plus the serialized-latency lower bound.  Exit "
+            "codes: 0 = clean, 1 = dependence violations, 2 = usage error."
+        ),
+    )
+    depgraph.add_argument("workload", help="e.g. SK-M-0.5")
+    depgraph.add_argument("--device", default="a100")
+    depgraph.add_argument("--precision", default="fp16")
+    depgraph.add_argument("--batch", type=int, default=1,
+                          help="scenes to trace through the model")
+    depgraph.add_argument(
+        "--scale", type=float, default=0.25,
+        help="scene resolution scale (wall-clock knob; 1.0 = full)",
+    )
+    depgraph.add_argument("--seed", type=int, default=0)
+    depgraph.add_argument(
+        "--max-rows", type=int, default=15,
+        help="critical-path table rows in text output",
+    )
+    export = depgraph.add_mutually_exclusive_group()
+    export.add_argument(
+        "--json", action="store_true",
+        help="print the DAG summary + violations as a JSON document",
+    )
+    export.add_argument(
+        "--dot", action="store_true",
+        help="print the DAG in Graphviz DOT format",
+    )
+    depgraph.set_defaults(func=_cmd_depgraph)
     return parser
 
 

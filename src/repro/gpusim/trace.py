@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 
 class LaunchKind(enum.Enum):
@@ -14,6 +14,83 @@ class LaunchKind(enum.Enum):
     MAPPING = "mapping"  # hash build/query, bitmask, sort, reorder: CUDA cores
     MEMORY = "memory"  # gather/scatter/transpose: bandwidth bound
     REDUCTION = "reduction"  # partial-sum reduction for mask splits
+
+
+@dataclasses.dataclass(frozen=True)
+class BufferAccess:
+    """One named-buffer access by a kernel launch.
+
+    Buffer ids carry a storage-class tag before the first colon:
+
+    * ``ext:<name>`` — external/resident buffers that exist (and are
+      initialized, e.g. allocator-zeroed accumulators) before the trace
+      starts: features, weights, kernel-map pair lists, gradients.
+    * ``ws:<name>`` — transient workspace that is *defined by the trace
+      itself*: staging buffers, sort keys, split partials.  A ``ws:``
+      buffer read before any in-trace write is an uninitialized read;
+      one written but never read is a leak; and every launch touching
+      ``ws:`` buffers must account for their full extents in its
+      :attr:`KernelLaunch.workspace_bytes`.
+
+    ``nbytes`` is the byte extent of the access; ``atomic`` marks
+    read-modify-write traffic whose ordering the hardware resolves
+    (atomic writers to one buffer don't race each other).
+    """
+
+    buffer: str
+    nbytes: float
+    atomic: bool = False
+
+    @property
+    def workspace(self) -> bool:
+        """Whether this access targets a trace-defined ``ws:`` buffer."""
+        return self.buffer.startswith("ws:")
+
+
+def ext(name: str, nbytes: float, atomic: bool = False) -> BufferAccess:
+    """Access to an external (pre-existing, pre-initialized) buffer."""
+    return BufferAccess(f"ext:{name}", float(nbytes), atomic)
+
+
+def ws(name: str, nbytes: float, atomic: bool = False) -> BufferAccess:
+    """Access to a transient workspace buffer defined by the trace."""
+    return BufferAccess(f"ws:{name}", float(nbytes), atomic)
+
+
+def _scoped(
+    access: BufferAccess, prefix: str, renames: Mapping[str, str]
+) -> BufferAccess:
+    renamed = renames.get(access.buffer)
+    if renamed is not None:
+        return dataclasses.replace(access, buffer=renamed)
+    cls, _, name = access.buffer.partition(":")
+    return dataclasses.replace(access, buffer=f"{cls}:{prefix}:{name}")
+
+
+def scope_buffers(
+    trace: "KernelTrace",
+    prefix: str,
+    renames: Optional[Mapping[str, str]] = None,
+) -> "KernelTrace":
+    """Namespace every buffer id in ``trace`` under ``prefix`` in place.
+
+    The prefix is inserted after the ``ext:``/``ws:`` class tag, so
+    ``ws:gs_in.k0`` becomes ``ws:<prefix>:gs_in.k0``.  ``renames`` maps
+    *pre-scoped* buffer ids to fully-qualified replacements and wins over
+    prefixing — the convolution layer uses it to splice its input-feature
+    reads onto the previous layer's output buffer.
+    """
+    table: Mapping[str, str] = renames or {}
+    for launch in trace:
+        if launch.reads:
+            launch.reads = tuple(
+                _scoped(a, prefix, table) for a in launch.reads
+            )
+        if launch.writes:
+            launch.writes = tuple(
+                _scoped(a, prefix, table) for a in launch.writes
+            )
+    return trace
 
 
 @dataclasses.dataclass
@@ -47,6 +124,11 @@ class KernelLaunch:
             cores (e.g. MinkowskiEngine FP32 paths).
         compute_efficiency: Fraction of peak MMA throughput the inner loop
             can sustain (tile quantization, pipeline fill), in ``(0, 1]``.
+        reads / writes: Named-buffer access sets (:class:`BufferAccess`)
+            used by the dependence analyzer to build RAW/WAR/WAW edges.
+            Empty sets mean "unannotated" and opt the launch out of
+            dependence checking (the byte counters above stay the source
+            of truth for the latency model).
     """
 
     name: str
@@ -61,6 +143,8 @@ class KernelLaunch:
     overlapped: bool = False
     tensor_core_eligible: bool = True
     compute_efficiency: float = 1.0
+    reads: Tuple[BufferAccess, ...] = ()
+    writes: Tuple[BufferAccess, ...] = ()
 
     def __post_init__(self) -> None:
         if not 0.0 < self.compute_efficiency <= 1.0:
@@ -73,6 +157,10 @@ class KernelLaunch:
                       "atomic_write_bytes", "scalar_ops", "workspace_bytes"):
             if getattr(self, field) < 0:
                 raise ValueError(f"{field} must be non-negative")
+        if not isinstance(self.reads, tuple):
+            self.reads = tuple(self.reads)
+        if not isinstance(self.writes, tuple):
+            self.writes = tuple(self.writes)
 
 
 @dataclasses.dataclass
@@ -98,7 +186,7 @@ class TraceSummary:
 class KernelTrace:
     """An ordered sequence of kernel launches for one operation or network."""
 
-    def __init__(self, launches: Optional[Iterable[KernelLaunch]] = None):
+    def __init__(self, launches: Optional[Iterable[KernelLaunch]] = None) -> None:
         self._launches: List[KernelLaunch] = list(launches or [])
 
     def add(self, launch: KernelLaunch) -> KernelLaunch:

@@ -20,7 +20,7 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.gpusim.trace import KernelLaunch, KernelTrace, LaunchKind
+from repro.gpusim.trace import KernelLaunch, KernelTrace, LaunchKind, ext
 from repro.kernels.base import (
     DEFAULT_SCHEDULE,
     KernelSchedule,
@@ -62,6 +62,14 @@ def _offset_launch(
         compute_efficiency=gemm_efficiency(
             efficiency_m, c_out, c_in, schedule
         ),
+        reads=(
+            ext("feats_in", itemsize * size * c_in),
+            ext("kmap_pairs", 8.0 * size),
+            ext("weights", weight_bytes),
+        ),
+        # Every partial sum lands via atomic add: write order is resolved
+        # by the hardware, so per-offset launches don't race each other.
+        writes=(ext("out_accum", 4.0 * size * c_out, atomic=True),),
     )
 
 
@@ -135,6 +143,8 @@ def fetch_on_demand_trace(
             dram_read_bytes=4.0 * kmap.num_outputs * c_out,
             dram_write_bytes=itemsize * kmap.num_outputs * c_out,
             ctas=max(1, kmap.num_outputs * c_out // 4096),
+            reads=(ext("out_accum", 4.0 * kmap.num_outputs * c_out),),
+            writes=(ext("feats_out", itemsize * kmap.num_outputs * c_out),),
         )
     )
     return trace

@@ -24,7 +24,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from repro.gpusim.trace import KernelLaunch, KernelTrace, LaunchKind
+from repro.gpusim.trace import KernelLaunch, KernelTrace, LaunchKind, ext, ws
 from repro.kernels.base import (
     DEFAULT_SCHEDULE,
     KernelSchedule,
@@ -126,6 +126,8 @@ def gather_gemm_scatter_trace(
             for ci in range(n_chunks):
                 rows = base + (1 if ci < extra else 0)
                 suffix = f".chunk{ci}" if n_chunks > 1 else ""
+                stage_in = f"gs_in.k{k}{suffix}"
+                stage_out = f"gs_out.k{k}{suffix}"
                 trace.add(
                     KernelLaunch(
                         name=f"gather/offset{k}{suffix}",
@@ -135,6 +137,11 @@ def gather_gemm_scatter_trace(
                         scalar_ops=2.0 * rows,
                         workspace_bytes=pair_bytes + itemsize * rows * c_in,
                         ctas=max(1, rows * c_in // 4096),
+                        reads=(
+                            ext("feats_in", itemsize * rows * c_in),
+                            ext("kmap_pairs", 8.0 * rows),
+                        ),
+                        writes=(ws(stage_in, itemsize * rows * c_in),),
                     )
                 )
                 gemm = _gemm_launch(
@@ -144,6 +151,11 @@ def gather_gemm_scatter_trace(
                 gemm.workspace_bytes = (
                     pair_bytes + itemsize * rows * (c_in + c_out)
                 )
+                gemm.reads = (
+                    ws(stage_in, itemsize * rows * c_in),
+                    ext("weights", itemsize * c_in * c_out),
+                )
+                gemm.writes = (ws(stage_out, itemsize * rows * c_out),)
                 trace.add(gemm)
                 trace.add(
                     KernelLaunch(
@@ -156,6 +168,14 @@ def gather_gemm_scatter_trace(
                         scalar_ops=2.0 * rows,
                         workspace_bytes=pair_bytes + itemsize * rows * c_out,
                         ctas=max(1, rows * c_out // 4096),
+                        reads=(
+                            ws(stage_out, itemsize * rows * c_out),
+                            ext("kmap_pairs", 8.0 * rows),
+                            # read-modify-write accumulation: the RAW chain
+                            # through ext:out_accum serializes the scatters.
+                            ext("out_accum", 4.0 * rows * c_out),
+                        ),
+                        writes=(ext("out_accum", 4.0 * rows * c_out),),
                     )
                 )
     else:
@@ -177,15 +197,31 @@ def gather_gemm_scatter_trace(
                 scalar_ops=2.0 * total_pairs,
                 workspace_bytes=pair_bytes + gather_buf,
                 ctas=max(1, total_pairs * c_in // 4096),
+                reads=(
+                    ext("feats_in", itemsize * total_pairs * c_in),
+                    ext("kmap_pairs", 8.0 * total_pairs),
+                ),
+                writes=(ws("gs_in", gather_buf),),
             )
         )
+        # Each group stages its padded output in its own buffer, so the
+        # batched GEMMs are mutually independent (no WAW between groups).
+        staged_group: List[Tuple[str, float]] = []
         for g, group in enumerate(groups):
             padded_m = int(max(map_sizes[k] for k in group))
+            group_out = itemsize * c_out * padded_m * len(group)
+            staged_group.append((f"gs_staged.g{g}", group_out))
             gemm = _gemm_launch(
                 f"gemm/group{g}", padded_m, c_in, c_out, len(group),
                 schedule, precision, tensor_cores,
             )
             gemm.workspace_bytes = pair_bytes + gather_buf + staged_out
+            group_rows = sum(int(map_sizes[k]) for k in group)
+            gemm.reads = (
+                ws("gs_in", itemsize * group_rows * c_in),
+                ext("weights", itemsize * len(group) * c_in * c_out),
+            )
+            gemm.writes = (ws(f"gs_staged.g{g}", group_out),)
             trace.add(gemm)
         # One kernel scatters every offset's partials at once, so rows
         # targeting the same output index race within the launch: only the
@@ -195,6 +231,11 @@ def gather_gemm_scatter_trace(
         # output at most once, and launches serialize.)
         touched = int(np.count_nonzero((kmap.nbmap >= 0).any(axis=1)))
         conflicts = total_pairs - touched
+        accum_writes = [ext("out_accum", 4.0 * touched * c_out)]
+        if conflicts:
+            accum_writes.append(
+                ext("out_accum", 4.0 * conflicts * c_out, atomic=True)
+            )
         trace.add(
             KernelLaunch(
                 name="scatter/fused",
@@ -206,6 +247,14 @@ def gather_gemm_scatter_trace(
                 scalar_ops=2.0 * total_pairs,
                 workspace_bytes=pair_bytes + staged_out,
                 ctas=max(1, total_pairs * c_out // 4096),
+                reads=tuple(
+                    [ws(name, nbytes) for name, nbytes in staged_group]
+                    + [
+                        ext("kmap_pairs", 8.0 * total_pairs),
+                        ext("out_accum", 4.0 * total_pairs * c_out),
+                    ]
+                ),
+                writes=tuple(accum_writes),
             )
         )
 
@@ -217,6 +266,8 @@ def gather_gemm_scatter_trace(
             dram_read_bytes=4.0 * kmap.num_outputs * c_out,
             dram_write_bytes=itemsize * kmap.num_outputs * c_out,
             ctas=max(1, kmap.num_outputs * c_out // 4096),
+            reads=(ext("out_accum", 4.0 * kmap.num_outputs * c_out),),
+            writes=(ext("feats_out", itemsize * kmap.num_outputs * c_out),),
         )
     )
     return trace

@@ -29,7 +29,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.gpusim.trace import KernelLaunch, KernelTrace, LaunchKind
+from repro.gpusim.trace import KernelLaunch, KernelTrace, LaunchKind, ext, ws
 from repro.kernels.base import (
     DEFAULT_SCHEDULE,
     ONLINE_REORDER_OPS,
@@ -108,6 +108,8 @@ def _mapping_trace(
             scalar_ops=2.0 * num_rows * volume,
             workspace_bytes=map_bytes + key_bytes,
             ctas=max(1, num_rows // 256),
+            reads=(ext("nbmap", map_bytes),),
+            writes=(ws("ig_keys", key_bytes),),
         )
     )
     trace.add(
@@ -122,6 +124,8 @@ def _mapping_trace(
             # Keys plus the (key, index) ping-pong pair of the radix sort.
             workspace_bytes=map_bytes + 3.0 * key_bytes,
             ctas=max(1, num_rows // 256),
+            reads=(ws("ig_keys", key_bytes),),
+            writes=(ws("ig_perm", 4.0 * num_rows),),
         )
     )
     if config.offline_reorder:
@@ -137,6 +141,11 @@ def _mapping_trace(
                 # Source map + materialised reordered copy + permutation.
                 workspace_bytes=2.0 * map_bytes + 4.0 * num_rows,
                 ctas=max(1, num_rows // 256),
+                reads=(
+                    ext("nbmap", map_bytes),
+                    ws("ig_perm", 4.0 * num_rows),
+                ),
+                writes=(ws("ig_map_sorted", map_bytes),),
             )
         )
     return trace
@@ -235,6 +244,21 @@ def implicit_gemm_trace(
             main_workspace += 4.0 * num_rows * config.num_splits
     if split_buffers:
         main_workspace += 4.0 * config.num_splits * num_rows * c_out
+    # Map structures produced by the mapping launches above are trace-local
+    # workspace; when the layer reuses an already-reordered map (warm cache,
+    # ``charge_mapping=False``) they pre-exist and are external.
+    map_cls = ws if charge_mapping else ext
+    map_reads = [ext("nbmap", map_bytes)]
+    if sorted_here:
+        if config.offline_reorder:
+            map_reads = [map_cls("ig_map_sorted", map_bytes)]
+        else:
+            map_reads.append(map_cls("ig_perm", 4.0 * num_rows))
+    main_writes = (
+        (ws("ig_partials", 4.0 * config.num_splits * num_rows * c_out),)
+        if split_buffers
+        else (ext("feats_out", itemsize * num_rows * c_out),)
+    )
     trace.add(
         KernelLaunch(
             name="implicit_gemm/main",
@@ -254,6 +278,14 @@ def implicit_gemm_trace(
             compute_efficiency=gemm_efficiency(
                 num_rows, c_out, split_k, schedule
             ),
+            reads=tuple(
+                [
+                    ext("feats_in", itemsize * effective_total * c_in),
+                    ext("weights", weight_reads),
+                ]
+                + map_reads
+            ),
+            writes=main_writes,
         )
     )
     if split_buffers:
@@ -267,6 +299,10 @@ def implicit_gemm_trace(
                 workspace_bytes=4.0 * config.num_splits * num_rows * c_out,
                 ctas=max(1, num_rows * c_out // 4096),
                 overlapped=True,
+                reads=(
+                    ws("ig_partials", 4.0 * config.num_splits * num_rows * c_out),
+                ),
+                writes=(ext("feats_out", itemsize * num_rows * c_out),),
             )
         )
     return trace
@@ -280,8 +316,14 @@ def implicit_gemm(
     precision: Precision = Precision.FP32,
     config: ImplicitGemmConfig = ImplicitGemmConfig(),
     tensor_cores: bool = True,
+    charge_mapping: bool = True,
 ) -> Tuple[np.ndarray, KernelTrace]:
-    """Run sparse convolution with the implicit GEMM dataflow."""
+    """Run sparse convolution with the implicit GEMM dataflow.
+
+    ``charge_mapping=False`` omits the bitmask/sort/reorder launches for
+    layers reusing an already-restructured map; the trace's map reads are
+    then external-class, matching the warm-cache reality.
+    """
     c_in, c_out = check_conv_args(feats, weights, kmap.volume)
     nbmap = kmap.nbmap
     accum = np.zeros((kmap.num_outputs, c_out), dtype=np.float32)
@@ -294,6 +336,7 @@ def implicit_gemm(
             feats[idx[valid]], weights[k], precision
         )
     trace = implicit_gemm_trace(
-        kmap, c_in, c_out, schedule, precision, config, tensor_cores
+        kmap, c_in, c_out, schedule, precision, config, tensor_cores,
+        charge_mapping=charge_mapping,
     )
     return accum.astype(precision.dtype), trace

@@ -51,13 +51,16 @@ def run_dataflow(
     ig_config: ImplicitGemmConfig = ImplicitGemmConfig(),
     tensor_cores: bool = True,
     gs_chunks: int = 1,
+    charge_mapping: bool = True,
 ) -> Tuple[np.ndarray, KernelTrace]:
     """Execute one sparse convolution with the named dataflow.
 
     This is the single entry point the autotuner and the baseline engines
     drive; every dataflow produces numerically equivalent output.
     ``gs_chunks`` sub-batches the gather-scatter staging buffers (workspace
-    relief for the degradation ladder); other dataflows ignore it.
+    relief for the degradation ladder); ``charge_mapping=False`` omits
+    implicit GEMM's map-restructuring launches for layers reusing a warm
+    map; other dataflows ignore both.
     """
     if isinstance(dataflow, str):
         try:
@@ -91,6 +94,7 @@ def run_dataflow(
     return implicit_gemm(
         feats, weights, kmap, schedule, precision,
         config=ig_config, tensor_cores=tensor_cores,
+        charge_mapping=charge_mapping,
     )
 
 

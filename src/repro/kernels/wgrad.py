@@ -18,7 +18,7 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.gpusim.trace import KernelLaunch, KernelTrace, LaunchKind
+from repro.gpusim.trace import KernelLaunch, KernelTrace, LaunchKind, ext, ws
 from repro.kernels.base import (
     DEFAULT_SCHEDULE,
     ONLINE_REORDER_OPS,
@@ -77,6 +77,12 @@ def wgrad_trace(
                 scalar_ops=4.0 * total_pairs,
                 workspace_bytes=pair_bytes + staging_bytes,
                 ctas=max(1, total_pairs * (c_in + c_out) // 4096),
+                reads=(
+                    ext("feats_in", itemsize * total_pairs * c_in),
+                    ext("grad_out", itemsize * total_pairs * c_out),
+                    ext("kmap_pairs", 16.0 * total_pairs),
+                ),
+                writes=(ws("wgrad_staged", staging_bytes),),
             )
         )
         k_loads_scalar = 0.0
@@ -105,6 +111,26 @@ def wgrad_trace(
     base_ctas = kmap.volume * gemm_ctas(c_in, c_out, schedule)
     k_splits = max(1, min(16, int(mean_k // (4 * schedule.tile_k) + 1)))
     ctas = base_ctas * k_splits
+    if gathered:
+        gemm_reads = [ws("wgrad_staged", staging_bytes)]
+    else:
+        gemm_reads = [
+            ext("feats_in", itemsize * total_pairs * c_in),
+            ext("grad_out", itemsize * total_pairs * c_out),
+            ext("kmap_pairs", 8.0 * total_pairs),
+        ]
+    grad_w_bytes = 4.0 * kmap.volume * c_in * c_out
+    # Gradients accumulate (+=) into the FP32 master buffer: the kernel
+    # reads existing partials, which also serializes successive wgrad
+    # launches over the same weights via a RAW chain.
+    gemm_reads.append(ext("grad_weights", grad_w_bytes))
+    # One CTA per output tile writes its first partial plainly; the other
+    # K-split partials land via atomic adds into the FP32 gradient buffer.
+    gemm_writes = [ext("grad_weights", grad_w_bytes)]
+    if k_splits > 1:
+        gemm_writes.append(
+            ext("grad_weights", grad_w_bytes * (k_splits - 1), atomic=True)
+        )
     trace.add(
         KernelLaunch(
             name="wgrad/gemm",
@@ -122,6 +148,8 @@ def wgrad_trace(
             compute_efficiency=gemm_efficiency(
                 c_in, c_out, int(math.ceil(mean_k / k_splits)), schedule
             ),
+            reads=tuple(gemm_reads),
+            writes=tuple(gemm_writes),
         )
     )
     return trace

@@ -165,6 +165,10 @@ class ExecutionContext:
         #: Optional callback ``(signature=, kmap=, c_in=, c_out=, label=)``
         #: invoked by every convolution layer — the autotuner's probe hook.
         self.recorder: Optional[Callable] = None
+        #: Fully-qualified buffer id of the most recent forward conv's
+        #: output features; the next forward conv reads it, chaining
+        #: layers with real RAW edges in the dependence analyzer.
+        self.feature_buffer: Optional[str] = None
 
     def charge_once(self, key: tuple) -> bool:
         """Return True exactly once per key per context."""
@@ -192,6 +196,7 @@ class ExecutionContext:
 
     def reset_trace(self) -> None:
         self.trace = KernelTrace()
+        self.feature_buffer = None
 
     def latency_us(self) -> float:
         """Simulated latency of everything traced so far."""

@@ -22,7 +22,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigError, MapError
-from repro.gpusim.trace import KernelTrace
+from repro.gpusim.trace import scope_buffers
 from repro.kernels.registry import Dataflow, run_dataflow, trace_dataflow
 from repro.kernels.wgrad import wgrad as wgrad_kernel
 from repro.kernels.wgrad import wgrad_trace
@@ -236,13 +236,20 @@ class SparseConv3d(Module):
                 ig_config=config.ig_config,
                 tensor_cores=config.tensor_cores,
                 gs_chunks=config.gs_chunks,
+                charge_mapping=charge_mapping,
             )
-            if not charge_mapping:
-                trace = KernelTrace(
-                    l for l in trace if not l.name.startswith("mapping/")
-                )
         for launch in trace:
             launch.name = f"{self.label}/{tag}:{launch.name}"
+        # Namespace buffer ids per layer and pass; forward passes splice
+        # their input-feature reads onto the previous layer's output buffer
+        # so consecutive convolutions are chained by real RAW edges.
+        prefix = f"{self.label}/{tag}"
+        renames = {}
+        if tag == "fwd" and ctx.feature_buffer is not None:
+            renames["ext:feats_in"] = ctx.feature_buffer
+        scope_buffers(trace, prefix, renames)
+        if tag == "fwd":
+            ctx.feature_buffer = f"ext:{prefix}:feats_out"
         ctx.trace.extend(trace)
         return out
 
@@ -372,6 +379,7 @@ class SparseConv3d(Module):
             )
         for launch in trace:
             launch.name = f"{self.label}/wgrad:{launch.name}"
+        scope_buffers(trace, f"{self.label}/wgrad")
         ctx.trace.extend(trace)
         self.weight.accumulate(grad_w)
         if self.bias is not None:

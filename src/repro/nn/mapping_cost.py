@@ -16,7 +16,14 @@ dominate and are modelled explicitly:
 
 from __future__ import annotations
 
-from repro.gpusim.trace import KernelLaunch, KernelTrace, LaunchKind
+from repro.gpusim.trace import (
+    KernelLaunch,
+    KernelTrace,
+    LaunchKind,
+    ext,
+    scope_buffers,
+    ws,
+)
 from repro.sparse.kmap import KernelMap
 
 #: Scalar ops per hash probe (hash mix, compare, CAS/select, loop control).
@@ -38,6 +45,11 @@ def map_build_trace(kmap: KernelMap, name: str = "map") -> KernelTrace:
     # Open-addressing hash table (key + value slots at ~1.5x load factor),
     # live from build through the last query.
     hash_bytes = 24.0 * max(stats.inserts, 1)
+    # The hash table is trace-local workspace when a query consumes it in
+    # this same build; with no queries it would look leaked, so it stays
+    # external-class in that (degenerate) case.
+    hash_cls = ws if stats.queries else ext
+    nbmap_bytes = 4.0 * kmap.num_outputs * kmap.volume
     if stats.inserts:
         trace.add(
             KernelLaunch(
@@ -48,6 +60,8 @@ def map_build_trace(kmap: KernelMap, name: str = "map") -> KernelTrace:
                 dram_write_bytes=BYTES_PER_PROBE * stats.insert_probes,
                 workspace_bytes=hash_bytes,
                 ctas=max(1, stats.inserts // 256),
+                reads=(ext("coords", 8.0 * stats.inserts),),
+                writes=(hash_cls("hash", hash_bytes),),
             )
         )
     if stats.queries:
@@ -61,10 +75,32 @@ def map_build_trace(kmap: KernelMap, name: str = "map") -> KernelTrace:
                 workspace_bytes=hash_bytes
                 + 4.0 * kmap.num_outputs * kmap.volume,
                 ctas=max(1, stats.queries // 256),
+                reads=(
+                    hash_cls("hash", hash_bytes),
+                    ext("coords", 8.0 * stats.queries),
+                ),
+                writes=(ext("nbmap", nbmap_bytes),),
             )
         )
         # The query pipeline is several kernels (candidate generation,
         # probe, compaction) with host synchronization between them.
+        stage_access = {
+            "candidates": dict(
+                reads=(
+                    ext("coords", 8.0 * stats.queries),
+                    hash_cls("hash", hash_bytes),
+                ),
+                writes=(ws("candidates", 8.0 * stats.queries),),
+            ),
+            "compact": dict(
+                reads=(
+                    ws("candidates", 8.0 * stats.queries),
+                    # Compaction rewrites the probe results in place.
+                    ext("nbmap", 8.0 * stats.queries),
+                ),
+                writes=(ext("nbmap", 8.0 * stats.queries),),
+            ),
+        }
         for stage in ("candidates", "compact"):
             trace.add(
                 KernelLaunch(
@@ -75,6 +111,7 @@ def map_build_trace(kmap: KernelMap, name: str = "map") -> KernelTrace:
                     dram_write_bytes=8.0 * stats.queries,
                     workspace_bytes=hash_bytes + 16.0 * stats.queries,
                     ctas=max(1, stats.queries // 256),
+                    **stage_access[stage],
                 )
             )
     if kmap.key.stride and any(s != 1 for s in kmap.key.stride):
@@ -91,6 +128,8 @@ def map_build_trace(kmap: KernelMap, name: str = "map") -> KernelTrace:
                 # 64-bit keys in a radix ping-pong pair.
                 workspace_bytes=32.0 * n,
                 ctas=max(1, n // 256),
+                reads=(ext("coords", 16.0 * n),),
+                writes=(ws("coord_keys", 32.0 * n),),
             )
         )
         trace.add(
@@ -100,10 +139,17 @@ def map_build_trace(kmap: KernelMap, name: str = "map") -> KernelTrace:
                 scalar_ops=8.0 * n,
                 dram_read_bytes=16.0 * n,
                 dram_write_bytes=16.0 * kmap.num_outputs,
+                # The sorted key ping-pong pair is still live while unique
+                # consumes it (a fix forced by the lifetime checker).
+                workspace_bytes=32.0 * n,
                 ctas=max(1, n // 256),
+                reads=(ws("coord_keys", 32.0 * n),),
+                writes=(ext("coords_out", 16.0 * kmap.num_outputs),),
             )
         )
-    return trace
+    # Buffer ids are namespaced by the caller-supplied trace name so maps
+    # built by different layers never alias.
+    return scope_buffers(trace, name)
 
 
 def map_reorder_trace(kmap: KernelMap, name: str = "map") -> KernelTrace:
@@ -127,6 +173,10 @@ def map_reorder_trace(kmap: KernelMap, name: str = "map") -> KernelTrace:
             # Source map plus the re-materialised copy being written.
             workspace_bytes=8.0 * n * volume,
             ctas=max(1, n // 256),
+            reads=(ext("nbmap", 4.0 * n * volume),),
+            # The restructured copy outlives the trace (layers reuse it),
+            # so it is external-class, not workspace.
+            writes=(ext("nbmap_restructured", 4.0 * n * volume),),
         )
     )
     trace.add(
@@ -137,6 +187,8 @@ def map_reorder_trace(kmap: KernelMap, name: str = "map") -> KernelTrace:
             dram_read_bytes=8.0 * n,
             dram_write_bytes=8.0 * n,
             ctas=max(1, n // 256),
+            reads=(ext("nbmap_restructured", 8.0 * n),),
+            writes=(ext("map_index", 8.0 * n),),
         )
     )
-    return trace
+    return scope_buffers(trace, name)

@@ -27,6 +27,7 @@ from repro.hw.specs import DeviceSpec, get_device
 from repro.nn.context import ExecutionContext
 from repro.nn.module import Module
 from repro.precision import Precision
+from repro.sparse.kmap import KernelMap
 from repro.sparse.tensor import SparseTensor
 
 
@@ -172,7 +173,14 @@ def model_footprint(
         for sample in chunk:
             recorded: List[Tuple[str, int, int, int, int]] = []
 
-            def record(signature=None, kmap=None, c_in=0, c_out=0, label=""):
+            def record(
+                signature: object = None,
+                kmap: Optional[KernelMap] = None,
+                c_in: int = 0,
+                c_out: int = 0,
+                label: str = "",
+            ) -> None:
+                assert kmap is not None
                 recorded.append(
                     (label, c_in, c_out, kmap.num_inputs, kmap.num_outputs)
                 )

@@ -161,7 +161,7 @@ def apply_rung(state: ExecState, rung: str) -> Optional[ExecState]:
 class DegradationLadder:
     """Policy-ordered rung walker with strict-reduction take logic."""
 
-    def __init__(self, rungs: Tuple[str, ...] = DEFAULT_RUNGS):
+    def __init__(self, rungs: Tuple[str, ...] = DEFAULT_RUNGS) -> None:
         if not rungs:
             raise ValueError("degradation ladder needs at least one rung")
         self.rungs = tuple(rungs)
@@ -171,12 +171,21 @@ class DegradationLadder:
         footprint_fn: Callable[[ExecState], float],
         start: ExecState,
         budget_bytes: float,
+        precision_veto: Optional[str] = None,
     ) -> LadderPlan:
         """Walk the ladder until the modeled footprint fits ``budget_bytes``.
 
         ``footprint_fn`` maps a candidate :class:`ExecState` to modeled
         total bytes; it is consulted for every applicable rung, and a rung
         is taken only when it strictly reduces the current footprint.
+
+        ``precision_veto`` — a reason string from the static value-range
+        pass (:func:`repro.analyze.ranges.precision_drop_veto`) — forbids
+        every ``precision:*`` rung: dropping storage precision would push
+        the model's features outside the reduced format's range, so the
+        degraded result could not stay within the documented error bounds
+        of the dense reference.  The rung is recorded as skipped with the
+        veto reason, and the walk continues down the ladder.
         """
         current = start
         start_bytes = float(footprint_fn(start))
@@ -185,6 +194,17 @@ class DegradationLadder:
         for rung in self.rungs:
             if current_bytes <= budget_bytes:
                 break
+            if rung.startswith("precision") and precision_veto is not None:
+                steps.append(
+                    LadderStep(
+                        rung=rung,
+                        taken=False,
+                        before_bytes=current_bytes,
+                        after_bytes=current_bytes,
+                        note=f"vetoed: {precision_veto}",
+                    )
+                )
+                continue
             candidate = apply_rung(current, rung)
             if candidate is None:
                 steps.append(

@@ -284,6 +284,9 @@ class ServingRuntime:
         )
         self._models: Dict[str, Module] = {}
         self._tuned_inline: set = set()
+        #: Per-workload reason the degradation ladder must not drop
+        #: storage precision (static value-range pass), None when safe.
+        self._precision_vetoes: Dict[str, Optional[str]] = {}
 
     # ------------------------------------------------------------------ #
     def _admit(self, workload_id: str, model: Module, in_channels: int) -> None:
@@ -306,6 +309,20 @@ class ServingRuntime:
                 f"{self.device.name} (headroom "
                 f"{self.config.mem_headroom:.0%})"
             )
+        # Static value-range pass: decide once, at admission, whether the
+        # degradation ladder may ever take its precision-drop rung for
+        # this model (an unsafe drop would overflow fp16 features and
+        # break the degraded-results error bound).
+        from repro.analyze import precision_drop_veto, trace_model
+
+        try:
+            ir = trace_model(model, in_channels=in_channels)
+            self._precision_vetoes[workload_id] = precision_drop_veto(ir)
+        except Exception:
+            # Untraceable model: be conservative, forbid the drop.
+            self._precision_vetoes[workload_id] = (
+                "value-range pass could not trace the model"
+            )
         if not self.config.lint_admission:
             return
         from repro.analyze import Severity, lint_model
@@ -315,6 +332,7 @@ class ServingRuntime:
             in_channels=in_channels,
             device=self.device,
             precision=self.precision,
+            collect_trace=True,
         )
         errors = [f for f in findings if f.severity is Severity.ERROR]
         if errors:
@@ -527,7 +545,12 @@ class ServingRuntime:
                 # true budget fits: cap it just under the start footprint
                 # so at least one strictly-reducing rung is taken.
                 effective = min(budget, footprint(start) * (1.0 - 1e-6))
-            plan = self.ladder.plan(footprint, start, effective)
+            plan = self.ladder.plan(
+                footprint,
+                start,
+                effective,
+                precision_veto=self._precision_vetoes.get(workload_id),
+            )
             ladder_taken = plan.taken
             retry = ExecutionContext(
                 device=self.device,

@@ -2,9 +2,13 @@
 
 ``sanitize_all_traces`` routes every latency estimate made anywhere in the
 test suite through the trace sanitizer
-(:func:`repro.analyze.tracecheck.check_trace`): any trace with a
-structurally invalid launch fails the test that produced it, no matter
-which subsystem (models, tuner, baselines, serving) emitted it.
+(:func:`repro.analyze.tracecheck.check_trace`) *and* the launch-level
+dependence/liveness analyzer (:func:`repro.analyze.depgraph.check_depgraph`):
+any trace with a structurally invalid launch, a use-before-def, a leaked
+or under-accounted workspace buffer, an unordered conflicting write, or a
+serialized latency below its own dependence critical path fails the test
+that produced it, no matter which subsystem (models, tuner, baselines,
+serving) emitted it.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ import importlib
 
 import pytest
 
+from repro.analyze.depgraph import check_depgraph
 from repro.analyze.tracecheck import check_trace
 from repro.gpusim import engine as _engine
 
@@ -35,6 +40,7 @@ _real_estimate_trace_us = _engine.estimate_trace_us
 
 def _checked_estimate_trace_us(trace, device, precision):
     violations = check_trace(trace)
+    violations += check_depgraph(trace, device, precision)
     if violations:
         details = "\n".join(f"  - {v}" for v in violations)
         raise AssertionError(

@@ -1,0 +1,187 @@
+"""Tests for the static value-range pass and its lint/veto integration."""
+
+import math
+
+import pytest
+
+from repro.analyze import (
+    lint_model,
+    model_range_report,
+    precision_drop_veto,
+    propagate_ranges,
+    trace_model,
+)
+from repro.analyze.ranges import FP16_MAX, RANGE_SIGMA, ValueRange
+from repro.models import get_workload
+from repro.nn.blocks import ConvBlock
+from repro.nn.conv import SparseConv3d
+from repro.nn.sequential import Sequential
+
+
+class _UnsafeNet(Sequential):
+    """Two convs with weights scaled x10^4 and no normalization: the
+    propagated range blows past fp16 within two layers."""
+
+    def __init__(self, scale: float = 1e4):
+        c1 = SparseConv3d(4, 8, kernel_size=3, label="c1", seed=0)
+        c2 = SparseConv3d(8, 8, kernel_size=3, label="c2", seed=1)
+        for conv in (c1, c2):
+            conv.weight.data *= scale
+        super().__init__(c1, c2)
+
+
+class _SafeNet(Sequential):
+    """Conv + norm blocks: normalization resets the range every layer."""
+
+    def __init__(self):
+        super().__init__(
+            ConvBlock(4, 8, 3, label="b1", seed=0),
+            ConvBlock(8, 8, 3, label="b2", seed=1),
+        )
+
+
+class TestValueRange:
+    def test_magnitude_is_min_of_bound_and_sigma_rms(self):
+        assert ValueRange(10.0, 100.0).magnitude == 10.0
+        assert ValueRange(1e9, 2.0).magnitude == RANGE_SIGMA * 2.0
+
+    def test_weight_stats_captured_on_conv_nodes(self):
+        ir = trace_model(_SafeNet(), in_channels=4)
+        convs = ir.conv_nodes()
+        assert convs
+        for node in convs:
+            assert node.weight_abs_max is not None and node.weight_abs_max > 0
+            assert node.weight_rms is not None and node.weight_rms > 0
+            assert node.weight_abs_max >= node.weight_rms
+
+
+class TestPropagation:
+    def test_norm_resets_range(self):
+        ir = trace_model(_SafeNet(), in_channels=4)
+        report = propagate_ranges(ir)
+        norm_layers = [l for l in report.layers if l.kind == "norm"]
+        assert norm_layers
+        for layer in norm_layers:
+            assert layer.out_range.rms == 1.0
+            assert layer.out_range.abs_max == RANGE_SIGMA
+
+    def test_activation_halves_power(self):
+        ir = trace_model(_SafeNet(), in_channels=4)
+        report = propagate_ranges(ir)
+        layers = report.layers
+        for i, layer in enumerate(layers):
+            if layer.kind == "activation":
+                before = (
+                    layers[i - 1].out_range if i else report.input_range
+                )
+                assert layer.out_range.rms == pytest.approx(
+                    before.rms / math.sqrt(2.0)
+                )
+
+    def test_conv_scales_by_fan_in(self):
+        ir = trace_model(_UnsafeNet(scale=1.0), in_channels=4)
+        report = propagate_ranges(ir, ValueRange(abs_max=1.0, rms=1.0))
+        first = report.layers[0]
+        node = ir.conv_nodes()[0]
+        fan_in = 27 * 4
+        assert first.out_range.abs_max == pytest.approx(
+            fan_in * node.weight_abs_max
+        )
+        assert first.out_range.rms == pytest.approx(
+            node.weight_rms * math.sqrt(fan_in)
+        )
+
+    def test_safe_model_is_fp16_safe(self):
+        report = model_range_report(_SafeNet(), in_channels=4)
+        assert report.fp16_safe
+        assert report.veto_reason() is None
+        for layer in report.layers:
+            assert layer.out_range.magnitude <= FP16_MAX
+
+    def test_unsafe_model_overflows_and_vetoes(self):
+        report = model_range_report(_UnsafeNet(), in_channels=4)
+        assert not report.fp16_safe
+        assert report.overflowing()
+        reason = report.veto_reason()
+        assert reason is not None and "overflow" in reason
+        ir = trace_model(_UnsafeNet(), in_channels=4)
+        assert precision_drop_veto(ir) == reason
+
+    def test_bundled_workloads_are_fp16_safe(self):
+        # He-initialized + normalized networks: the paper's fp16 serving
+        # path must not be vetoed for any bundled workload.
+        for wl_id in ("SK-M-0.5", "NS-C-10f"):
+            workload = get_workload(wl_id)
+            report = model_range_report(
+                workload.build_model(),
+                in_channels=workload.dataset_config.in_channels,
+            )
+            assert report.fp16_safe, wl_id
+
+
+class TestFp16OverflowRule:
+    def test_fires_as_error_at_fp16(self):
+        findings = lint_model(
+            _UnsafeNet(), in_channels=4, precision="fp16",
+            rules=["fp16-overflow"],
+        )
+        assert findings
+        assert all(f.severity.value == "error" for f in findings)
+        assert all(f.rule == "fp16-overflow" for f in findings)
+
+    def test_downgrades_to_warning_at_fp32(self):
+        findings = lint_model(
+            _UnsafeNet(), in_channels=4, precision="fp32",
+            rules=["fp16-overflow"],
+        )
+        assert findings
+        assert all(f.severity.value == "warning" for f in findings)
+
+    def test_silent_on_safe_model(self):
+        assert (
+            lint_model(
+                _SafeNet(), in_channels=4, precision="fp16",
+                rules=["fp16-overflow"],
+            )
+            == []
+        )
+
+
+class TestAccumOrderRule:
+    def _findings(self, dataflow, precision="fp16"):
+        from repro.kernels.registry import Dataflow
+        from repro.nn.context import FixedPolicy, LayerConfig
+
+        policy = FixedPolicy(LayerConfig(dataflow=Dataflow(dataflow)))
+        return lint_model(
+            _SafeNet(), in_channels=4, precision=precision, policy=policy,
+            rules=["accum-order-nondeterminism"],
+        )
+
+    def test_silent_for_implicit_gemm(self):
+        assert self._findings("implicit_gemm") == []
+
+    def test_flags_atomic_dataflows(self):
+        findings = self._findings("fetch_on_demand")
+        assert findings
+        assert all(
+            f.rule == "accum-order-nondeterminism" for f in findings
+        )
+        # 27-offset fp16 chains are a warning; below that, info.
+        assert all(f.severity.value == "warning" for f in findings)
+        assert self._findings("fetch_on_demand", precision="fp32")
+        assert all(
+            f.severity.value == "info"
+            for f in self._findings("fetch_on_demand", precision="fp32")
+        )
+
+    def test_bundled_workloads_stay_quiet_by_default(self):
+        from repro.analyze import lint_workload
+
+        for wl_id in ("SK-M-0.5", "NS-C-10f"):
+            assert (
+                lint_workload(
+                    wl_id, rules=["accum-order-nondeterminism"]
+                )
+                == []
+            ), wl_id

@@ -324,6 +324,62 @@ class TestLadderPlanner:
         assert "dataflow:fetch_on_demand" in plan.taken
 
 
+class TestPrecisionVeto:
+    """The value-range pass can veto the precision:drop rung: the planner
+    must skip it (recording the reason) and degrade through other rungs."""
+
+    BUDGET = 60.0  # reachable only via precision:drop or batch chunking
+
+    def test_without_veto_precision_drop_is_taken(self):
+        plan = DegradationLadder().plan(synthetic_footprint, state(), self.BUDGET)
+        assert plan.fits
+        assert "precision:drop" in plan.taken
+        assert plan.final.precision is Precision.FP16
+
+    def test_veto_skips_rung_and_records_reason(self):
+        plan = DegradationLadder().plan(
+            synthetic_footprint, state(), self.BUDGET,
+            precision_veto="fp16 value range: 2 layer(s) overflow",
+        )
+        notes = {s.rung: s.note for s in plan.steps if not s.taken}
+        assert notes["precision:drop"] == (
+            "vetoed: fp16 value range: 2 layer(s) overflow"
+        )
+        assert "precision:drop" not in plan.taken
+        # The plan still converges — through batch chunking — and never
+        # enters a reduced-precision state.
+        assert plan.fits
+        assert plan.final.precision is Precision.FP32
+        for step in plan.steps:
+            assert step.after_bytes <= step.before_bytes
+
+    def test_vetoed_rung_charges_no_footprint_change(self):
+        plan = DegradationLadder().plan(
+            synthetic_footprint, state(), self.BUDGET, precision_veto="unsafe",
+        )
+        vetoed = [s for s in plan.steps if s.note.startswith("vetoed:")]
+        assert len(vetoed) == 1
+        assert vetoed[0].before_bytes == vetoed[0].after_bytes
+
+    def test_range_pass_drives_the_veto_end_to_end(self):
+        from repro.analyze import precision_drop_veto, trace_model
+        from tests.test_ranges import _SafeNet, _UnsafeNet
+
+        # A well-normalized model is fp16-safe: no veto, the rung stays
+        # available (its numerics are validated against the dense
+        # reference in TestDegradedNumerics.test_precision_drop_matches_dense).
+        assert precision_drop_veto(trace_model(_SafeNet(), in_channels=4)) is None
+
+        reason = precision_drop_veto(trace_model(_UnsafeNet(), in_channels=4))
+        assert reason is not None and "overflow" in reason
+        plan = DegradationLadder().plan(
+            synthetic_footprint, state(), self.BUDGET, precision_veto=reason,
+        )
+        assert "precision:drop" not in plan.taken
+        notes = {s.rung: s.note for s in plan.steps if not s.taken}
+        assert notes["precision:drop"] == f"vetoed: {reason}"
+
+
 # ---------------------------------------------------------------------- #
 # Degraded configurations stay numerically correct
 # ---------------------------------------------------------------------- #
