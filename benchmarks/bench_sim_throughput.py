@@ -1,0 +1,141 @@
+"""Simulator-throughput baseline (ROADMAP item 5 gate).
+
+Measures the wall-clock throughput of the three hot simulator paths and
+writes ``benchmarks/BENCH_sim_throughput.json`` so later PRs can prove
+they did not regress the simulator itself:
+
+* ``estimate_us_per_call`` — cost of pricing an already-built trace
+  (:func:`repro.gpusim.engine.estimate_trace_us`), the inner loop of every
+  tuner verification;
+* ``trace_us_per_call`` — cost of *constructing* a layer trace
+  (:func:`repro.kernels.registry.trace_dataflow`), what the surrogate
+  model exists to avoid;
+* ``surrogate_us_per_call`` — cost of one surrogate prediction
+  (:meth:`repro.autotune.SurrogateModel.predict`), which must stay orders
+  of magnitude below ``trace_us_per_call`` for online tuning to pay off;
+* ``serve_rps_wallclock`` — end-to-end serve-bench requests processed per
+  wall-clock second on a fixed seed.
+
+Simulated results are seed-deterministic; the wall-clock numbers are
+machine-dependent, so regression checks should compare ratios on the same
+host.  Run with ``PYTHONPATH=src python benchmarks/bench_sim_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+
+import numpy as np
+
+SEED = 0
+OUTPUT = pathlib.Path(__file__).parent / "BENCH_sim_throughput.json"
+
+
+def _cloud(n=2000, extent=30, seed=SEED):
+    rng = np.random.default_rng(seed)
+    return np.unique(
+        np.concatenate(
+            [
+                np.zeros((n, 1), np.int32),
+                rng.integers(0, extent, (n, 3)).astype(np.int32),
+            ],
+            axis=1,
+        ),
+        axis=0,
+    )
+
+
+def _time_per_call(fn, min_seconds=0.5):
+    """Mean wall-clock microseconds per call (adaptive repeat count)."""
+    fn()  # warm-up
+    calls = 0
+    start = time.perf_counter()
+    while time.perf_counter() - start < min_seconds:
+        fn()
+        calls += 1
+    return 1e6 * (time.perf_counter() - start) / calls, calls
+
+
+def bench_engine():
+    from repro.autotune import LayerShape, SurrogateModel
+    from repro.gpusim.engine import estimate_trace_us
+    from repro.hw.specs import get_device
+    from repro.kernels.registry import Dataflow, trace_dataflow
+    from repro.nn.context import LayerConfig
+    from repro.sparse.kmap import build_kernel_map
+
+    device = get_device("a100")
+    kmap = build_kernel_map(_cloud(), kernel_size=3, stride=1)
+    c_in, c_out = 64, 64
+    config = LayerConfig()
+    trace = trace_dataflow(
+        Dataflow.IMPLICIT_GEMM, kmap, c_in, c_out, precision="fp16"
+    )
+
+    estimate_us, estimate_calls = _time_per_call(
+        lambda: estimate_trace_us(trace, device, "fp16")
+    )
+    trace_us, trace_calls = _time_per_call(
+        lambda: trace_dataflow(
+            Dataflow.IMPLICIT_GEMM, kmap, c_in, c_out, precision="fp16"
+        )
+    )
+    shape = LayerShape.from_kmap(kmap, c_in, c_out)
+    surrogate = SurrogateModel.analytic()
+    surrogate_us, surrogate_calls = _time_per_call(
+        lambda: surrogate.predict(shape, config, device, "fp16")
+    )
+    return {
+        "estimate_us_per_call": round(estimate_us, 3),
+        "estimate_calls": estimate_calls,
+        "trace_us_per_call": round(trace_us, 3),
+        "trace_calls": trace_calls,
+        "surrogate_us_per_call": round(surrogate_us, 3),
+        "surrogate_calls": surrogate_calls,
+        "surrogate_speedup_vs_trace": round(trace_us / surrogate_us, 1),
+    }
+
+
+def bench_serving():
+    from repro.serve import ServeConfig, ServingRuntime
+    from repro.serve.arrivals import PoissonArrivals, generate_requests
+
+    requests = generate_requests(
+        "SK-M-0.5",
+        PoissonArrivals(rate_per_s=40, seed=SEED),
+        count=32,
+    )
+    runtime = ServingRuntime(
+        ServeConfig(device="a100", scene_scale=0.1)
+    )
+    start = time.perf_counter()
+    result = runtime.serve(requests)
+    elapsed = time.perf_counter() - start
+    return {
+        "requests": result.metrics.requests,
+        "completed": result.metrics.completed,
+        "serve_wallclock_s": round(elapsed, 3),
+        "serve_rps_wallclock": round(result.metrics.requests / elapsed, 1),
+        "simulated_throughput_rps": round(result.metrics.throughput_rps, 2),
+    }
+
+
+def main() -> int:
+    payload = {
+        "seed": SEED,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "engine": bench_engine(),
+        "serving": bench_serving(),
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nwritten to {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

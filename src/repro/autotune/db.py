@@ -1,0 +1,305 @@
+"""Persistent, fleet-shared tuning database.
+
+A tuned schedule "could be reused for millions of scenes" (Section 4.2) —
+so tuning results must outlive the process *and* the machine.  This module
+stores one :class:`TuningEntry` per :class:`TuningKey`, where a key
+normalizes everything a winning configuration actually depends on:
+
+* the **device** (tensor-core ratio and machine balance decide dataflow
+  winners — Figure 18);
+* the **layer signature** — the group identity of Section 4.2
+  (``(tensor_stride, kernel_size, stride, transposed)``) extended with the
+  channel pair and precision, because tile choice and tensor-core
+  eligibility hang off those;
+* a **sparsity-statistics bucket** — point counts and neighbour density
+  quantized to powers of two, so scenes of similar scale share entries
+  without the database growing one row per scene.
+
+The store is a single JSON document with a schema version, written
+atomically (temp file + ``os.replace``) so a reader never observes a torn
+database, and mergeable so multiple serving replicas can tune
+independently and pool their winners (:meth:`TuningDatabase.merge`).
+Nothing in an entry or the serialization depends on wall-clock time or
+iteration order: two seeded runs produce byte-identical database files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.errors import ConfigError
+from repro.hw.specs import DeviceSpec, get_device
+from repro.nn.context import LayerConfig, Signature
+from repro.precision import Precision
+from repro.tune.cache import config_from_dict, config_to_dict
+
+#: Database layout version; bump on any incompatible key/entry change.
+SCHEMA_VERSION = 1
+
+
+def _log2_bucket(value: float) -> int:
+    """Floor-of-log2 bucket index (0 for empty/degenerate inputs)."""
+    if value < 1.0:
+        return 0
+    return int(math.floor(math.log2(value)))
+
+
+def sparsity_bucket(
+    num_inputs: int, num_outputs: int, mean_neighbors: float
+) -> str:
+    """Quantize a layer workload's sparsity statistics to a bucket label.
+
+    Points are bucketed by floor-log2 (a 100k-voxel scene and a 130k-voxel
+    scene share configs; a 10k one does not) and neighbour density — the
+    quantity that separates dense indoor from sparse outdoor LiDAR — by
+    floor-log2 as well.
+    """
+    return (
+        f"n{_log2_bucket(float(num_inputs))}"
+        f":m{_log2_bucket(float(num_outputs))}"
+        f":d{_log2_bucket(mean_neighbors)}"
+    )
+
+
+def layer_key(
+    signature: Signature,
+    c_in: int,
+    c_out: int,
+    precision: Union[Precision, str],
+) -> str:
+    """Canonical string for a layer signature + channels + precision."""
+    precision = Precision.parse(precision)
+    return repr((tuple(signature), int(c_in), int(c_out), precision.value))
+
+
+@dataclasses.dataclass(frozen=True)
+class TuningKey:
+    """Normalized identity of one tuning-database row."""
+
+    device: str
+    layer: str
+    bucket: str
+
+    #: Separator between the three key components in the flat on-disk form.
+    SEP = "||"
+
+    @classmethod
+    def make(
+        cls,
+        device: Union[DeviceSpec, str],
+        signature: Signature,
+        c_in: int,
+        c_out: int,
+        precision: Union[Precision, str],
+        num_inputs: int,
+        num_outputs: int,
+        mean_neighbors: float,
+    ) -> "TuningKey":
+        """Build a key, normalizing the device name via the registry."""
+        spec = get_device(device)
+        return cls(
+            device=spec.name,
+            layer=layer_key(signature, c_in, c_out, precision),
+            bucket=sparsity_bucket(num_inputs, num_outputs, mean_neighbors),
+        )
+
+    def flat(self) -> str:
+        """Flat string form used as the JSON object key."""
+        for part in (self.device, self.layer, self.bucket):
+            if self.SEP in part:
+                raise ConfigError(
+                    f"tuning key component {part!r} contains the "
+                    f"separator {self.SEP!r}"
+                )
+        return self.SEP.join((self.device, self.layer, self.bucket))
+
+    @classmethod
+    def parse(cls, flat: str) -> "TuningKey":
+        parts = flat.split(cls.SEP)
+        if len(parts) != 3:
+            raise ConfigError(f"malformed tuning key {flat!r}")
+        return cls(device=parts[0], layer=parts[1], bucket=parts[2])
+
+
+@dataclasses.dataclass(frozen=True)
+class TuningEntry:
+    """One tuned configuration with its evidence.
+
+    ``measured_us`` is the verified simulated latency (the end-to-end
+    objective); ``predicted_us`` is what the surrogate claimed before
+    verification — keeping both makes surrogate drift observable in a
+    deployed database.  ``trials`` counts real measurements contributing
+    to the entry across merges.
+    """
+
+    config: LayerConfig
+    measured_us: float
+    predicted_us: float
+    trials: int = 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "config": config_to_dict(self.config),
+            "measured_us": round(float(self.measured_us), 6),
+            "predicted_us": round(float(self.predicted_us), 6),
+            "trials": int(self.trials),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TuningEntry":
+        try:
+            config = config_from_dict(data["config"])  # type: ignore[arg-type]
+            return cls(
+                config=config,
+                measured_us=float(data["measured_us"]),  # type: ignore[arg-type]
+                predicted_us=float(data["predicted_us"]),  # type: ignore[arg-type]
+                trials=int(data["trials"]),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed tuning entry: {exc}") from None
+
+    def beats(self, other: "TuningEntry") -> bool:
+        """Deterministic total order for merges: lower measured latency
+        wins; ties break on the serialized config (stable across runs)."""
+        if self.measured_us != other.measured_us:
+            return self.measured_us < other.measured_us
+        return json.dumps(self.to_dict(), sort_keys=True) < json.dumps(
+            other.to_dict(), sort_keys=True
+        )
+
+
+class TuningDatabase:
+    """In-memory view of the persistent tuning store."""
+
+    def __init__(
+        self, entries: Optional[Dict[TuningKey, TuningEntry]] = None
+    ) -> None:
+        self._entries: Dict[TuningKey, TuningEntry] = dict(entries or {})
+        self.hits = 0
+        self.misses = 0
+
+    # -- lookups ------------------------------------------------------- #
+    def get(self, key: TuningKey) -> Optional[TuningEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def peek(self, key: TuningKey) -> Optional[TuningEntry]:
+        """Lookup without touching the hit/miss accounting."""
+        return self._entries.get(key)
+
+    def put(self, key: TuningKey, entry: TuningEntry) -> TuningEntry:
+        """Install ``entry`` unless an existing entry beats it."""
+        current = self._entries.get(key)
+        if current is not None and current.beats(entry):
+            return current
+        self._entries[key] = entry
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: TuningKey) -> bool:
+        return key in self._entries
+
+    def items(self) -> Iterator[Tuple[TuningKey, TuningEntry]]:
+        """Entries in deterministic (flat-key-sorted) order."""
+        for key in sorted(self._entries, key=TuningKey.flat):
+            yield key, self._entries[key]
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- persistence --------------------------------------------------- #
+    def to_json(self) -> str:
+        payload: Dict[str, object] = {
+            "schema": SCHEMA_VERSION,
+            "entries": {
+                key.flat(): entry.to_dict() for key, entry in self.items()
+            },
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Atomically write the database (temp file + rename)."""
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(self.to_json() + "\n")
+        os.replace(tmp, path)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TuningDatabase":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"corrupt tuning database: {exc}") from None
+        if not isinstance(payload, dict) or "schema" not in payload:
+            raise ConfigError(
+                "corrupt tuning database: missing schema version"
+            )
+        if payload["schema"] != SCHEMA_VERSION:
+            raise ConfigError(
+                f"tuning database schema {payload['schema']!r} is not the "
+                f"supported version {SCHEMA_VERSION}"
+            )
+        raw = payload.get("entries", {})
+        if not isinstance(raw, dict):
+            raise ConfigError("corrupt tuning database: entries not a map")
+        entries = {
+            TuningKey.parse(flat): TuningEntry.from_dict(data)
+            for flat, data in raw.items()
+        }
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TuningDatabase":
+        path = Path(path)
+        if not path.exists():
+            raise ConfigError(f"tuning database {path} does not exist")
+        return cls.from_json(path.read_text())
+
+    @classmethod
+    def load_or_create(cls, path: Union[str, Path]) -> "TuningDatabase":
+        """Load ``path`` if present, else start empty (cold replica)."""
+        path = Path(path)
+        if path.exists():
+            return cls.from_json(path.read_text())
+        return cls()
+
+    # -- fleet merge --------------------------------------------------- #
+    def merge(self, other: "TuningDatabase") -> int:
+        """Adopt ``other``'s entries; best measured latency wins per key.
+
+        Returns the number of entries adopted (new keys plus overwrites).
+        Merging is commutative and associative up to the deterministic
+        :meth:`TuningEntry.beats` order, so replicas can exchange
+        databases in any order and converge on the same content.
+        """
+        adopted = 0
+        for key, entry in other.items():
+            current = self._entries.get(key)
+            if current is None:
+                self._entries[key] = entry
+                adopted += 1
+            elif entry.beats(current):
+                # Pool the evidence: the winning config keeps the combined
+                # trial count so fleet-wide confidence is visible.
+                self._entries[key] = dataclasses.replace(
+                    entry, trials=entry.trials + current.trials
+                )
+                adopted += 1
+            elif current.beats(entry):
+                self._entries[key] = dataclasses.replace(
+                    current, trials=current.trials + entry.trials
+                )
+        return adopted

@@ -18,6 +18,10 @@ Commands:
   execution, report its critical path and available launch parallelism,
   and check the dependence/liveness invariants (``--dot``/``--json``
   export);
+* ``autotune`` — autotuning as a service (:mod:`repro.autotune`):
+  ``fit`` a surrogate cost model on a seeded measurement grid, ``search``
+  a workload online against a persistent tuning database, ``inspect`` a
+  database, and ``merge`` replica databases;
 * ``dataflows`` — list the registered sparse convolution dataflows;
 * ``lint`` — statically analyze a model (bundled workload or
   ``module:factory`` import spec) for stride/channel/map/precision
@@ -252,6 +256,178 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _cmd_autotune_fit(args) -> int:
+    from repro.autotune import SurrogateModel, training_grid
+
+    devices = [d.strip() for d in args.devices.split(",") if d.strip()]
+    if not devices:
+        raise ValueError("--devices needs at least one device name")
+    for device in devices:
+        _validate_target(device, args.precision)
+    sizes = tuple(int(s) for s in args.sizes.split(","))
+    samples = training_grid(
+        devices, precision=args.precision, seed=args.seed, sizes=sizes
+    )
+    model = SurrogateModel.fit(samples)
+    report = model.fit_report(samples)
+    failed = report.median_rel_err > args.max_median_err
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "devices": devices,
+                    "precision": args.precision,
+                    "seed": args.seed,
+                    "samples": report.samples,
+                    "median_rel_err": round(report.median_rel_err, 6),
+                    "mean_rel_err": round(report.mean_rel_err, 6),
+                    "p90_rel_err": round(report.p90_rel_err, 6),
+                    "by_family": {
+                        k: round(v, 6)
+                        for k, v in sorted(report.by_family.items())
+                    },
+                    "max_median_err": args.max_median_err,
+                    "failed": failed,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(report.describe())
+    if args.output:
+        model.save(args.output)
+        if not args.json:
+            print(f"coefficients saved to {args.output}")
+    if failed:
+        if not args.json:
+            print(
+                f"FAIL: median relative error "
+                f"{100 * report.median_rel_err:.1f}% exceeds the "
+                f"--max-median-err bound {100 * args.max_median_err:.1f}%"
+            )
+        return 1
+    return 0
+
+
+def _cmd_autotune_search(args) -> int:
+    from repro.autotune import OnlineTuner, SurrogateModel, TuningDatabase
+    from repro.data.datasets import make_sample
+    from repro.models import get_workload
+
+    _validate_target(args.device, args.precision)
+    workload = get_workload(args.workload)
+    db = TuningDatabase.load_or_create(args.db)
+    surrogate = (
+        SurrogateModel.load(args.surrogate)
+        if args.surrogate
+        else SurrogateModel.analytic()
+    )
+    tuner = OnlineTuner(db, surrogate, verify_top_k=args.top_k)
+    model = workload.build_model()
+    model.eval()
+    sample = make_sample(
+        workload.dataset,
+        frames=workload.frames,
+        seed=args.seed,
+        scale=args.scale,
+    )
+    _, report = tuner.tune_model(model, sample, args.device, args.precision)
+    db.save(args.db)
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "workload": workload.id,
+                    "device": args.device,
+                    "precision": args.precision,
+                    "db": args.db,
+                    "groups": len(report.decisions),
+                    "db_hits": report.db_hits,
+                    "db_misses": report.db_misses,
+                    "measurements": report.measurements,
+                    "entries": len(db),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(
+            f"{workload.id} @ {args.device}/{args.precision} "
+            f"(surrogate: {args.surrogate or 'analytic prior'})"
+        )
+        print(report.describe())
+        print(f"database {args.db}: {len(db)} entries")
+    return 0
+
+
+def _cmd_autotune_inspect(args) -> int:
+    from repro.autotune import TuningDatabase
+
+    db = TuningDatabase.load(args.db)
+    if args.json:
+        print(db.to_json())
+        return 0
+    rows = [
+        [
+            key.device,
+            key.layer,
+            key.bucket,
+            entry.config.describe(),
+            f"{entry.measured_us:.1f}",
+            f"{entry.predicted_us:.1f}",
+            str(entry.trials),
+        ]
+        for key, entry in db.items()
+    ]
+    print(
+        format_table(
+            ["device", "layer", "bucket", "config", "us", "pred us",
+             "trials"],
+            rows,
+            title=f"tuning database {args.db} ({len(db)} entries)",
+        )
+    )
+    return 0
+
+
+def _cmd_autotune_merge(args) -> int:
+    from repro.autotune import TuningDatabase
+
+    merged = TuningDatabase()
+    adopted_total = 0
+    for path in args.inputs:
+        replica = TuningDatabase.load(path)
+        adopted = merged.merge(replica)
+        adopted_total += adopted
+        if not args.json:
+            print(f"{path}: {len(replica)} entries, {adopted} adopted")
+    merged.save(args.output)
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "inputs": list(args.inputs),
+                    "output": args.output,
+                    "entries": len(merged),
+                    "adopted": adopted_total,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(f"merged database saved to {args.output} ({len(merged)} entries)")
+    return 0
+
+
 def _cmd_serve_bench(args) -> int:
     from repro.models import get_workload
     from repro.serve import (
@@ -292,9 +468,15 @@ def _cmd_serve_bench(args) -> int:
         retry_backoff_ms=args.retry_backoff_ms,
         timeout_ms=args.timeout_ms,
         hedge_ms=args.hedge_ms,
+        tuning_db=args.tuning_db,
         mem_headroom=args.mem_headroom,
     )
     runtime = ServingRuntime(config)
+    if args.tuning_db:
+        print(
+            f"tuning db {args.tuning_db}: "
+            f"{len(runtime.tuning_db)} entries loaded"
+        )
     if args.policy:
         runtime.warm_policy_from_file(workload.id, args.policy)
         print(f"policy cache warmed from {args.policy}")
@@ -328,6 +510,24 @@ def _cmd_serve_bench(args) -> int:
     )
     print()
     print(result.describe())
+    if args.tuning_db:
+        m = result.metrics
+        first = (
+            f"{m.time_to_first_tuned_ms:.1f} ms"
+            if m.time_to_first_tuned_ms >= 0
+            else "never"
+        )
+        print(
+            f"\ntuning amortization: first tuned config at {first} "
+            f"(db hits {m.tuning_db_hits}, misses {m.tuning_db_misses}, "
+            f"background tunes {m.background_tunes})"
+        )
+        if args.tuning_db_save:
+            runtime.save_tuning_db()
+            print(
+                f"tuning db saved to {args.tuning_db} "
+                f"({len(runtime.tuning_db)} entries)"
+            )
     if args.json:
         from pathlib import Path
 
@@ -736,6 +936,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy", help="pre-warm from a policy JSON saved by `tune --output`"
     )
     serve.add_argument(
+        "--tuning-db", default=None, metavar="PATH",
+        help="persistent autotune database: policy-cache misses consult "
+             "the online tuner (warm entries serve tuned immediately; "
+             "cold layers tune in the background on the virtual clock); "
+             "the path may not exist yet (cold start)",
+    )
+    serve.add_argument(
+        "--tuning-db-save", action="store_true",
+        help="persist what the online tuner learned back to --tuning-db "
+             "after the run",
+    )
+    serve.add_argument(
         "--scale", type=float, default=0.25,
         help="scene resolution scale (wall-clock knob; 1.0 = full)",
     )
@@ -751,6 +963,94 @@ def build_parser() -> argparse.ArgumentParser:
              "via the degradation ladder (shorthand for faults key oom=)",
     )
     serve.set_defaults(func=_cmd_serve_bench)
+
+    autotune = sub.add_parser(
+        "autotune",
+        help="autotuning as a service: surrogate fit, online search, "
+             "database inspect/merge",
+        description=(
+            "Operate the repro.autotune subsystem: fit the surrogate cost "
+            "model, search a workload online against a persistent tuning "
+            "database, inspect a database, or merge replica databases.  "
+            "Exit codes: 0 = success, 1 = fit residual above "
+            "--max-median-err, 2 = usage error (unknown names, missing "
+            "database)."
+        ),
+    )
+    autotune_sub = autotune.add_subparsers(
+        dest="autotune_command", required=True
+    )
+
+    fit = autotune_sub.add_parser(
+        "fit", help="fit the surrogate cost model on a seeded grid"
+    )
+    fit.add_argument(
+        "--devices", default="a100,3090",
+        help="comma-separated device names the grid measures on",
+    )
+    fit.add_argument("--precision", default="fp16")
+    fit.add_argument("--seed", type=int, default=0)
+    fit.add_argument(
+        "--sizes", default="400,1200,3000",
+        help="comma-separated scene point counts of the training grid",
+    )
+    fit.add_argument("--output", help="save fitted coefficients JSON here")
+    fit.add_argument(
+        "--max-median-err", type=float, default=0.15,
+        help="exit 1 when the fit's median relative error exceeds this",
+    )
+    fit.add_argument("--json", action="store_true",
+                     help="print the fit report as JSON")
+    fit.set_defaults(func=_cmd_autotune_fit)
+
+    search = autotune_sub.add_parser(
+        "search",
+        help="online-tune one workload against a tuning database",
+    )
+    search.add_argument("workload", help="e.g. SK-M-0.5")
+    search.add_argument("--device", default="a100")
+    search.add_argument("--precision", default="fp16")
+    search.add_argument(
+        "--db", required=True, metavar="PATH",
+        help="tuning database to consult and update (created if missing)",
+    )
+    search.add_argument(
+        "--surrogate", metavar="PATH",
+        help="fitted coefficients from `autotune fit --output` "
+             "(default: the analytic prior)",
+    )
+    search.add_argument("--seed", type=int, default=0)
+    search.add_argument(
+        "--scale", type=float, default=0.25,
+        help="scene resolution scale (wall-clock knob; 1.0 = full)",
+    )
+    search.add_argument(
+        "--top-k", type=int, default=3,
+        help="surrogate-ranked candidates verified with real traces",
+    )
+    search.add_argument("--json", action="store_true",
+                        help="print the search summary as JSON")
+    search.set_defaults(func=_cmd_autotune_search)
+
+    inspect = autotune_sub.add_parser(
+        "inspect", help="show a tuning database's entries"
+    )
+    inspect.add_argument("db", help="tuning database path")
+    inspect.add_argument("--json", action="store_true",
+                         help="print the raw database document")
+    inspect.set_defaults(func=_cmd_autotune_inspect)
+
+    merge = autotune_sub.add_parser(
+        "merge", help="merge replica tuning databases (best entry wins)"
+    )
+    merge.add_argument("inputs", nargs="+", help="replica database paths")
+    merge.add_argument(
+        "--output", required=True, metavar="PATH",
+        help="write the merged database here",
+    )
+    merge.add_argument("--json", action="store_true",
+                       help="print the merge summary as JSON")
+    merge.set_defaults(func=_cmd_autotune_merge)
 
     memory = sub.add_parser(
         "memory",

@@ -68,6 +68,13 @@ class ServingMetrics:
     ladder_steps: int = 0
     oom_degraded: int = 0
     balancer: str = "round_robin"
+    tuning_db_hits: int = 0
+    tuning_db_misses: int = 0
+    background_tunes: int = 0
+    #: Virtual time at which the first batch was served with a *tuned*
+    #: policy; -1 when no batch ever was.  The warm-vs-cold amortization
+    #: signal: a pre-warmed tuning DB pulls it toward the first arrival.
+    time_to_first_tuned_ms: float = -1.0
     per_replica: List[Dict[str, float]] = dataclasses.field(
         default_factory=list
     )
@@ -101,6 +108,12 @@ class ServingMetrics:
             ["queue depth max", str(self.queue_depth_max)],
             ["queue depth mean", f"{self.queue_depth_mean:.2f}"],
             ["policy cache hit rate", f"{100 * self.policy_hit_rate:.1f}%"],
+            ["tuning db hits / misses",
+             f"{self.tuning_db_hits} / {self.tuning_db_misses}"],
+            ["background tunes", str(self.background_tunes)],
+            ["time to first tuned",
+             (f"{self.time_to_first_tuned_ms:.1f} ms"
+              if self.time_to_first_tuned_ms >= 0 else "never")],
             ["kmap cache hit rate", f"{100 * self.kmap_hit_rate:.1f}%"],
             ["kmap evictions", str(self.kmap_evictions)],
             ["batches", str(self.batches)],
@@ -165,6 +178,10 @@ def compute_metrics(
     oom_events: int = 0,
     ladder_steps: int = 0,
     balancer: str = "round_robin",
+    tuning_db_hits: int = 0,
+    tuning_db_misses: int = 0,
+    background_tunes: int = 0,
+    time_to_first_tuned_ms: float = -1.0,
     per_replica: Optional[List[Dict[str, float]]] = None,
 ) -> ServingMetrics:
     """Fold raw run records into a :class:`ServingMetrics`."""
@@ -225,5 +242,9 @@ def compute_metrics(
         ladder_steps=ladder_steps,
         oom_degraded=sum(1 for o in outcomes if o.ladder),
         balancer=balancer,
+        tuning_db_hits=tuning_db_hits,
+        tuning_db_misses=tuning_db_misses,
+        background_tunes=background_tunes,
+        time_to_first_tuned_ms=time_to_first_tuned_ms,
         per_replica=replica_rows,
     )

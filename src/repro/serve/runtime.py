@@ -114,6 +114,19 @@ class ServeConfig:
         hedge_ms: duplicate a batch onto a second replica when its
             predicted service time exceeds this (tail-latency hedging;
             the earlier copy wins); 0 disables hedging.
+        tuning_db: path to a persistent :class:`repro.autotune`
+            tuning database.  When set, policy-cache misses are resolved
+            by the online tuner: a warm DB yields a tuned policy
+            immediately (the surrogate only ranks, the DB supplies
+            verified winners), while cold layers serve degraded and
+            enqueue a background tuning job on the virtual clock.  The
+            path need not exist yet (a cold replica starts empty); use
+            :meth:`ServingRuntime.save_tuning_db` to persist what was
+            learned.
+        background_tune_ms: simulated latency of one background online
+            tuning job (surrogate ranking + top-k trace verification on
+            a worker thread); the tuned policy installs once the virtual
+            clock passes it.
         lint_admission: statically lint every model at admission
             (:func:`repro.analyze.lint_model`) and reject models with
             error-level findings (:class:`~repro.errors.AdmissionError`)
@@ -150,6 +163,8 @@ class ServeConfig:
     retry_backoff_ms: float = 5.0
     timeout_ms: float = 0.0
     hedge_ms: float = 0.0
+    tuning_db: Optional[str] = None
+    background_tune_ms: float = 25.0
     lint_admission: bool = True
     mem_headroom: float = 0.1
 
@@ -180,6 +195,10 @@ class ServeConfig:
             raise ConfigError("retry_backoff_ms must be non-negative")
         if self.timeout_ms < 0 or self.hedge_ms < 0:
             raise ConfigError("timeout_ms / hedge_ms must be non-negative")
+        if self.background_tune_ms < 0:
+            raise ConfigError("background_tune_ms must be non-negative")
+        if self.tuning_db is not None and not str(self.tuning_db).strip():
+            raise ConfigError("tuning_db path must be non-empty when set")
         if not 0.0 <= self.mem_headroom < 1.0:
             raise ConfigError(
                 f"mem_headroom must be in [0, 1), got {self.mem_headroom}"
@@ -284,6 +303,21 @@ class ServingRuntime:
         )
         self._models: Dict[str, Module] = {}
         self._tuned_inline: set = set()
+        #: Online-tuning state (active only when config.tuning_db is set).
+        self.tuning_db = None
+        self.online_tuner = None
+        if self.config.tuning_db is not None:
+            from repro.autotune import OnlineTuner, TuningDatabase
+
+            self.tuning_db = TuningDatabase.load_or_create(
+                self.config.tuning_db
+            )
+            self.online_tuner = OnlineTuner(self.tuning_db)
+        #: Pending background tunes: policy key -> (completes_at_ms, policy).
+        self._bg_tunes: Dict[PolicyKey, Tuple[float, GroupPolicy]] = {}
+        self.background_tunes = 0
+        #: Virtual time the first batch was served with a tuned policy.
+        self.first_tuned_ms: Optional[float] = None
         #: Per-workload reason the degradation ladder must not drop
         #: storage precision (static value-range pass), None when safe.
         self._precision_vetoes: Dict[str, Optional[str]] = {}
@@ -396,6 +430,33 @@ class ServingRuntime:
         """Install a policy saved by ``python -m repro tune --output``."""
         return self.policy_cache.warm_from_file(self.policy_key(workload_id), path)
 
+    def save_tuning_db(self, path=None) -> None:
+        """Persist the online tuner's database (atomic write)."""
+        if self.tuning_db is None:
+            raise ConfigError(
+                "no tuning database active; set ServeConfig.tuning_db"
+            )
+        target = path if path is not None else self.config.tuning_db
+        self.tuning_db.save(target)
+
+    def _tune_online(self, workload_id: str):
+        """Run the online tuner for one workload; returns (policy, report).
+
+        Uses a deterministic probe scene (the warm-policy seed) so DB keys
+        are stable across runs and replicas."""
+        from repro.data.datasets import make_sample
+
+        workload = get_workload(workload_id)
+        sample = make_sample(
+            workload.dataset,
+            frames=workload.frames,
+            seed=9000,
+            scale=self.config.scene_scale,
+        )
+        return self.online_tuner.tune_model(
+            self.model(workload_id), sample, self.device, self.precision
+        )
+
     # ------------------------------------------------------------------ #
     def _preprocess_us(self, sample: SparseTensor) -> float:
         return self.config.preprocess_us_per_point * sample.num_points
@@ -412,9 +473,37 @@ class ServingRuntime:
         """Returns (policy, hit, degraded, extra_service_ms)."""
         workload_id = batch[0].workload_id
         key = self.policy_key(workload_id)
+        # Background tunes whose virtual deadline has passed install first.
+        for pending_key in list(self._bg_tunes):
+            completes_at, tuned = self._bg_tunes[pending_key]
+            if now >= completes_at:
+                self.policy_cache.put(pending_key, tuned)
+                del self._bg_tunes[pending_key]
         policy = self.policy_cache.get(key)
         if policy is not None:
+            if self.first_tuned_ms is None:
+                self.first_tuned_ms = now
             return policy, True, False, 0.0
+        if self.online_tuner is not None and key not in self._bg_tunes:
+            # Admission-time planning consults the surrogate + tuning DB
+            # instead of tracing.  The search itself is cheap (that is the
+            # point), so it runs here; only its *verification latency* is
+            # modeled, and only for layers the DB could not answer.
+            tuned, report = self._tune_online(workload_id)
+            if report.db_misses == 0:
+                # Fully warm: every group came out of the database — the
+                # batch is served tuned with no tuning latency at all.
+                self.policy_cache.put(key, tuned)
+                if self.first_tuned_ms is None:
+                    self.first_tuned_ms = now
+                return tuned, False, False, 0.0
+            # Cold layers needed real measurements: the tuned policy lands
+            # after a background-tuning delay; this batch degrades.
+            self.background_tunes += 1
+            self._bg_tunes[key] = (
+                now + self.config.background_tune_ms, tuned
+            )
+            return FixedPolicy(self.default_config), False, True, 0.0
         if (
             self.config.autotune_on_miss
             and key not in self._tuned_inline
@@ -598,6 +687,9 @@ class ServingRuntime:
         ]
         queue = RequestQueue(max_depth=config.queue_depth)
         workload_cache: Dict[str, Workload] = {}
+        db_hits_before = self.tuning_db.hits if self.tuning_db else 0
+        db_misses_before = self.tuning_db.misses if self.tuning_db else 0
+        bg_tunes_before = self.background_tunes
 
         def scene_points(request: InferenceRequest) -> int:
             workload = workload_cache.setdefault(
@@ -872,6 +964,18 @@ class ServingRuntime:
             oom_events=oom_events,
             ladder_steps=ladder_steps,
             balancer=config.balancer,
+            tuning_db_hits=(
+                self.tuning_db.hits - db_hits_before if self.tuning_db else 0
+            ),
+            tuning_db_misses=(
+                self.tuning_db.misses - db_misses_before
+                if self.tuning_db else 0
+            ),
+            background_tunes=self.background_tunes - bg_tunes_before,
+            time_to_first_tuned_ms=(
+                self.first_tuned_ms if self.first_tuned_ms is not None
+                else -1.0
+            ),
             per_replica=per_replica,
         )
         return ServeResult(config=config, outcomes=ordered, metrics=metrics)

@@ -17,7 +17,7 @@ from repro.kernels.registry import Dataflow
 from repro.nn.context import GroupPolicy, LayerConfig, Role, Signature
 
 
-def _config_to_dict(config: LayerConfig) -> dict:
+def config_to_dict(config: LayerConfig) -> dict:
     return {
         "dataflow": config.dataflow.value,
         "tile": [config.schedule.tile_m, config.schedule.tile_n,
@@ -27,10 +27,11 @@ def _config_to_dict(config: LayerConfig) -> dict:
         "sort": config.ig_config.sort,
         "offline_reorder": config.ig_config.offline_reorder,
         "tensor_cores": config.tensor_cores,
+        "gs_chunks": config.gs_chunks,
     }
 
 
-def _config_from_dict(data: dict) -> LayerConfig:
+def config_from_dict(data: dict) -> LayerConfig:
     tile_m, tile_n, tile_k = data["tile"]
     return LayerConfig(
         dataflow=Dataflow(data["dataflow"]),
@@ -44,7 +45,15 @@ def _config_from_dict(data: dict) -> LayerConfig:
             offline_reorder=data["offline_reorder"],
         ),
         tensor_cores=data["tensor_cores"],
+        # Policies written before gs_chunks existed omit the key; they were
+        # tuned at the default (no chunking).
+        gs_chunks=data.get("gs_chunks", 1),
     )
+
+
+#: Backward-compatible aliases (the public names are preferred).
+_config_to_dict = config_to_dict
+_config_from_dict = config_from_dict
 
 
 def _signature_to_key(signature: Signature) -> str:

@@ -1,0 +1,207 @@
+"""Tests for the persistent tuning database (`repro.autotune.db`)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.autotune import (
+    TuningDatabase,
+    TuningEntry,
+    TuningKey,
+    layer_key,
+    sparsity_bucket,
+)
+from repro.errors import ConfigError
+from repro.kernels.base import SMALL_TILE
+from repro.kernels.registry import Dataflow
+from repro.nn.context import LayerConfig
+
+SIG = ((1, 1, 1), (3, 3, 3), (1, 1, 1), False)
+
+
+def make_key(device="a100", c_in=16, c_out=32, n=100_000, m=100_000, d=20.0):
+    return TuningKey.make(
+        device=device,
+        signature=SIG,
+        c_in=c_in,
+        c_out=c_out,
+        precision="fp16",
+        num_inputs=n,
+        num_outputs=m,
+        mean_neighbors=d,
+    )
+
+
+def make_entry(measured=100.0, predicted=90.0, trials=1, **config_kwargs):
+    return TuningEntry(
+        config=LayerConfig(**config_kwargs),
+        measured_us=measured,
+        predicted_us=predicted,
+        trials=trials,
+    )
+
+
+class TestKeys:
+    def test_sparsity_bucket_quantizes_by_log2(self):
+        # 100k and 130k voxels share a bucket; 10k does not.
+        assert sparsity_bucket(100_000, 100_000, 20.0) == sparsity_bucket(
+            130_000, 130_000, 25.0
+        )
+        assert sparsity_bucket(100_000, 100_000, 20.0) != sparsity_bucket(
+            10_000, 10_000, 20.0
+        )
+
+    def test_bucket_handles_degenerate_inputs(self):
+        assert sparsity_bucket(0, 0, 0.0) == "n0:m0:d0"
+
+    def test_layer_key_includes_channels_and_precision(self):
+        base = layer_key(SIG, 16, 32, "fp16")
+        assert layer_key(SIG, 16, 64, "fp16") != base
+        assert layer_key(SIG, 16, 32, "fp32") != base
+
+    def test_make_normalizes_device_name(self):
+        assert make_key(device="a100") == make_key(device="A100")
+
+    def test_flat_parse_round_trip(self):
+        key = make_key()
+        assert TuningKey.parse(key.flat()) == key
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ConfigError):
+            TuningKey.parse("only-one-part")
+
+
+class TestEntryOrder:
+    def test_lower_latency_beats(self):
+        assert make_entry(measured=50.0).beats(make_entry(measured=60.0))
+        assert not make_entry(measured=60.0).beats(make_entry(measured=50.0))
+
+    def test_tie_breaks_deterministically(self):
+        a = make_entry(measured=50.0, dataflow=Dataflow.IMPLICIT_GEMM)
+        b = make_entry(measured=50.0, dataflow=Dataflow.GATHER_SCATTER)
+        # Exactly one wins, and the relation is antisymmetric.
+        assert a.beats(b) != b.beats(a)
+
+    def test_round_trip(self):
+        entry = make_entry(schedule=SMALL_TILE, gs_chunks=2)
+        assert TuningEntry.from_dict(entry.to_dict()) == entry
+
+    def test_malformed_entry_raises_config_error(self):
+        with pytest.raises(ConfigError):
+            TuningEntry.from_dict({"measured_us": 1.0})
+
+
+class TestDatabase:
+    def test_get_counts_hits_and_misses(self):
+        db = TuningDatabase()
+        key = make_key()
+        assert db.get(key) is None
+        db.put(key, make_entry())
+        assert db.get(key) is not None
+        assert (db.hits, db.misses) == (1, 1)
+        assert db.hit_rate == 0.5
+
+    def test_peek_does_not_count(self):
+        db = TuningDatabase()
+        db.peek(make_key())
+        assert (db.hits, db.misses) == (0, 0)
+
+    def test_put_keeps_better_existing_entry(self):
+        db = TuningDatabase()
+        key = make_key()
+        best = make_entry(measured=10.0)
+        db.put(key, best)
+        kept = db.put(key, make_entry(measured=20.0))
+        assert kept == best
+        assert db.peek(key) == best
+
+    def test_save_load_round_trip(self, tmp_path):
+        db = TuningDatabase()
+        db.put(make_key(), make_entry(schedule=SMALL_TILE))
+        db.put(make_key(c_out=64), make_entry(measured=42.0, gs_chunks=2))
+        path = tmp_path / "db.json"
+        db.save(path)
+        loaded = TuningDatabase.load(path)
+        assert len(loaded) == 2
+        assert list(loaded.items()) == list(db.items())
+
+    def test_save_is_byte_deterministic(self, tmp_path):
+        a, b = TuningDatabase(), TuningDatabase()
+        # Insert in opposite orders: serialization must not care.
+        keys = [make_key(), make_key(c_out=64), make_key(device="3090")]
+        for key in keys:
+            a.put(key, make_entry())
+        for key in reversed(keys):
+            b.put(key, make_entry())
+        pa, pb = tmp_path / "a.json", tmp_path / "b.json"
+        a.save(pa)
+        b.save(pb)
+        assert pa.read_bytes() == pb.read_bytes()
+
+    def test_load_missing_raises_config_error(self, tmp_path):
+        with pytest.raises(ConfigError):
+            TuningDatabase.load(tmp_path / "missing.json")
+
+    def test_load_or_create_starts_empty(self, tmp_path):
+        db = TuningDatabase.load_or_create(tmp_path / "missing.json")
+        assert len(db) == 0
+
+    def test_corrupt_and_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "db.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError):
+            TuningDatabase.load(path)
+        path.write_text(json.dumps({"schema": 999, "entries": {}}))
+        with pytest.raises(ConfigError):
+            TuningDatabase.load(path)
+
+
+class TestMerge:
+    def test_merge_adopts_new_and_better(self):
+        a, b = TuningDatabase(), TuningDatabase()
+        shared, only_b = make_key(), make_key(c_out=64)
+        a.put(shared, make_entry(measured=100.0))
+        b.put(shared, make_entry(measured=50.0))
+        b.put(only_b, make_entry())
+        adopted = a.merge(b)
+        assert adopted == 2
+        assert a.peek(shared).measured_us == 50.0
+        assert only_b in a
+
+    def test_merge_pools_trial_counts(self):
+        a, b = TuningDatabase(), TuningDatabase()
+        key = make_key()
+        a.put(key, make_entry(measured=100.0, trials=3))
+        b.put(key, make_entry(measured=50.0, trials=2))
+        a.merge(b)
+        assert a.peek(key).trials == 5
+        # Losing direction pools too.
+        c = TuningDatabase()
+        c.put(key, make_entry(measured=100.0, trials=3))
+        d = TuningDatabase()
+        d.put(key, make_entry(measured=50.0, trials=2))
+        d.merge(c)
+        assert d.peek(key).trials == 5
+
+    def test_merge_order_independent(self):
+        def replica(measured, c_out):
+            db = TuningDatabase()
+            db.put(make_key(), make_entry(measured=measured))
+            db.put(make_key(c_out=c_out), make_entry())
+            return db
+
+        ab, ba = TuningDatabase(), TuningDatabase()
+        ab.merge(replica(100.0, 64))
+        ab.merge(replica(50.0, 128))
+        ba.merge(replica(50.0, 128))
+        ba.merge(replica(100.0, 64))
+
+        def strip(db):
+            # Trial pooling differs by merge path; the winning configs
+            # and latencies must not.
+            return [
+                (k, dataclasses.replace(e, trials=1)) for k, e in db.items()
+            ]
+
+        assert strip(ab) == strip(ba)

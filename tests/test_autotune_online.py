@@ -1,0 +1,153 @@
+"""Online tuner tests (`repro.autotune.online`)."""
+
+import numpy as np
+import pytest
+
+from repro.autotune import OnlineTuner, TuningDatabase, candidate_configs
+from repro.models import MinkUNet
+from repro.sparse import SparseTensor
+from repro.tune.groups import LayerRecord
+from repro.sparse.kmap import build_kernel_map
+
+
+def cloud(n=400, extent=18, seed=0):
+    rng = np.random.default_rng(seed)
+    coords = np.unique(
+        np.concatenate(
+            [np.zeros((n, 1), np.int32),
+             rng.integers(0, extent, (n, 3)).astype(np.int32)],
+            axis=1,
+        ),
+        axis=0,
+    )
+    feats = rng.standard_normal((len(coords), 4)).astype(np.float32)
+    return SparseTensor(coords, feats)
+
+
+def make_record(seed=0):
+    sample = cloud(seed=seed)
+    kmap = build_kernel_map(sample.coords, kernel_size=3, stride=1)
+    return LayerRecord(
+        signature=((1, 1, 1), (3, 3, 3), (1, 1, 1), False),
+        kmap=kmap,
+        c_in=16,
+        c_out=32,
+        label="conv",
+    )
+
+
+@pytest.fixture()
+def model():
+    return MinkUNet(in_channels=4, num_classes=5, width=0.25)
+
+
+class TestSearchSpace:
+    def test_space_covers_all_axes(self):
+        configs = candidate_configs()
+        from repro.kernels.registry import Dataflow
+
+        dataflows = {c.dataflow for c in configs}
+        assert Dataflow.IMPLICIT_GEMM in dataflows
+        assert Dataflow.FETCH_ON_DEMAND in dataflows
+        assert Dataflow.GATHER_SCATTER in dataflows
+        assert {c.schedule.tile_m for c in configs} == {64, 128}
+        assert {c.ig_config.num_splits for c in configs} >= {1, 2, 4}
+        assert {c.gs_chunks for c in configs} == {1, 2}
+
+    def test_space_order_is_stable(self):
+        assert candidate_configs() == candidate_configs()
+
+
+class TestTuneRecord:
+    def test_search_verifies_top_k_and_banks_winner(self):
+        db = TuningDatabase()
+        tuner = OnlineTuner(db, verify_top_k=3)
+        record = make_record()
+        decision = tuner.tune_record(record, "3090", "fp16")
+        assert decision.source == "search"
+        assert decision.verified == 3
+        assert tuner.measurements == 3
+        assert len(db) == 1
+
+    def test_db_hit_short_circuits(self):
+        db = TuningDatabase()
+        tuner = OnlineTuner(db)
+        record = make_record()
+        first = tuner.tune_record(record, "3090", "fp16")
+        second = tuner.tune_record(record, "3090", "fp16")
+        assert second.source == "db"
+        assert second.config == first.config
+        assert tuner.measurements == 3  # no new measurements on the hit
+
+    def test_similar_scale_scene_shares_entry(self):
+        """Scenes in the same sparsity bucket resolve to the same row."""
+        db = TuningDatabase()
+        tuner = OnlineTuner(db)
+        tuner.tune_record(make_record(seed=0), "3090", "fp16")
+        decision = tuner.tune_record(make_record(seed=1), "3090", "fp16")
+        assert decision.source == "db"
+        assert len(db) == 1
+
+    def test_devices_get_separate_entries(self):
+        db = TuningDatabase()
+        tuner = OnlineTuner(db)
+        record = make_record()
+        tuner.tune_record(record, "3090", "fp16")
+        decision = tuner.tune_record(record, "orin", "fp16")
+        assert decision.source == "search"
+        assert len(db) == 2
+
+    def test_winner_at_least_as_good_as_any_verified(self):
+        from repro.autotune import measure_config
+
+        db = TuningDatabase()
+        tuner = OnlineTuner(db, verify_top_k=5)
+        record = make_record()
+        decision = tuner.tune_record(record, "a100", "fp16")
+        remeasured = measure_config(record, decision.config, "a100", "fp16")
+        assert remeasured == pytest.approx(decision.measured_us)
+
+    def test_verify_top_k_validated(self):
+        with pytest.raises(ValueError):
+            OnlineTuner(TuningDatabase(), verify_top_k=0)
+
+
+class TestTuneModel:
+    def test_policy_covers_all_groups(self, model):
+        db = TuningDatabase()
+        tuner = OnlineTuner(db)
+        policy, report = tuner.tune_model(model, cloud(), "3090", "fp16")
+        assert len(policy) == len(report.decisions)
+        assert len(policy) > 0
+        for signature in policy.signatures():
+            assert policy.config(signature) is not None
+
+    def test_second_model_run_is_all_hits(self, model):
+        db = TuningDatabase()
+        tuner = OnlineTuner(db)
+        _, first = tuner.tune_model(model, cloud(), "3090", "fp16")
+        _, second = tuner.tune_model(model, cloud(), "3090", "fp16")
+        assert first.db_misses > 0
+        assert second.db_misses == 0
+        assert second.measurements == 0
+
+    def test_two_seeded_runs_byte_identical_dbs(self, model, tmp_path):
+        """The acceptance criterion: same seed, byte-identical databases."""
+        paths = []
+        for name in ("a", "b"):
+            db = TuningDatabase()
+            tuner = OnlineTuner(db)
+            fresh = MinkUNet(in_channels=4, num_classes=5, width=0.25)
+            tuner.tune_model(fresh, cloud(), "3090", "fp16")
+            path = tmp_path / f"{name}.json"
+            db.save(path)
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_report_describe_mentions_hits(self, model):
+        db = TuningDatabase()
+        tuner = OnlineTuner(db)
+        _, report = tuner.tune_model(model, cloud(), "3090", "fp16")
+        text = report.describe()
+        assert "db hits" in text
+        assert "measurements" in text

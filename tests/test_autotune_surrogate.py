@@ -1,0 +1,178 @@
+"""Surrogate cost model quality tests (`repro.autotune.surrogate`).
+
+The two satellite guarantees: predictions are *monotone* in workload size
+(more flops/bytes never predicts faster — a consequence of non-negative
+coefficients over monotone features), and the fit is *accurate* (median
+relative error below 15% on a seeded grid of workloads x dataflows x
+devices).
+"""
+
+import pytest
+
+from repro.autotune import (
+    FEATURE_NAMES,
+    LayerShape,
+    SurrogateModel,
+    fit_surrogate,
+    layer_features,
+    training_grid,
+)
+from repro.errors import ConfigError
+from repro.kernels.base import DEFAULT_SCHEDULE, SMALL_TILE
+from repro.kernels.implicit_gemm import ImplicitGemmConfig
+from repro.kernels.registry import Dataflow
+from repro.nn.context import LayerConfig
+
+BASE = LayerShape(
+    num_inputs=20_000,
+    num_outputs=20_000,
+    volume=27,
+    total_pairs=200_000,
+    c_in=32,
+    c_out=64,
+)
+
+CONFIGS = [
+    LayerConfig(),  # sorted implicit gemm
+    LayerConfig(ig_config=ImplicitGemmConfig.from_paper_notation(0)),
+    LayerConfig(dataflow=Dataflow.FETCH_ON_DEMAND, schedule=SMALL_TILE),
+    LayerConfig(dataflow=Dataflow.GATHER_SCATTER, gs_chunks=2),
+]
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    model, report = fit_surrogate(
+        devices=["3090", "a100"], seed=0, sizes=(300, 900)
+    )
+    return model, report
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.describe())
+    def test_predict_monotone_in_workload_scale(self, fitted, config):
+        """Scaling every extent up scales flops and bytes up; for a fixed
+        schedule the prediction must not decrease."""
+        model, _ = fitted
+        preds = [
+            model.predict(BASE.scaled(f), config, "a100", "fp16")
+            for f in (0.25, 0.5, 1.0, 2.0, 4.0)
+        ]
+        assert all(b >= a for a, b in zip(preds, preds[1:]))
+
+    @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.describe())
+    def test_analytic_prior_monotone_too(self, config):
+        model = SurrogateModel.analytic()
+        preds = [
+            model.predict(BASE.scaled(f), config, "a100", "fp16")
+            for f in (0.5, 1.0, 2.0)
+        ]
+        assert all(b >= a for a, b in zip(preds, preds[1:]))
+
+    def test_monotone_in_channels(self, fitted):
+        model, _ = fitted
+        import dataclasses
+
+        preds = [
+            model.predict(
+                dataclasses.replace(BASE, c_in=c, c_out=2 * c),
+                LayerConfig(),
+                "a100",
+                "fp16",
+            )
+            for c in (16, 32, 64, 128)
+        ]
+        assert all(b >= a for a, b in zip(preds, preds[1:]))
+
+    def test_negative_coefficients_rejected(self):
+        bad = {"implicit_gemm:sorted:t128x64x32": (-1.0,) * len(FEATURE_NAMES)}
+        with pytest.raises(ConfigError):
+            SurrogateModel(bad)
+
+
+class TestFitQuality:
+    def test_median_relative_error_bound(self, fitted):
+        """The satellite bound: median rel err < 15% on the seeded grid of
+        workloads x dataflows x devices the model was fitted on."""
+        _, report = fitted
+        assert report.median_rel_err < 0.15
+
+    def test_residuals_match_report(self, fitted):
+        model, report = fitted
+        samples = training_grid(
+            devices=["3090", "a100"], seed=0, sizes=(300, 900)
+        )
+        errs = sorted(model.residuals(samples))
+        median = errs[len(errs) // 2]
+        assert median == pytest.approx(report.median_rel_err, rel=0.05)
+
+    def test_fit_beats_analytic_prior(self, fitted):
+        model, report = fitted
+        samples = training_grid(devices=["3090"], seed=0, sizes=(300,))
+        prior = SurrogateModel.analytic()
+        fitted_med = model.fit_report(samples).median_rel_err
+        prior_med = prior.fit_report(samples).median_rel_err
+        assert fitted_med < prior_med
+
+    def test_fit_on_empty_raises(self):
+        with pytest.raises(ConfigError):
+            SurrogateModel.fit([])
+
+
+class TestFeatures:
+    def test_feature_vector_shape_and_sign(self):
+        feats = layer_features(BASE, LayerConfig(), "a100", "fp16")
+        assert len(feats) == len(FEATURE_NAMES)
+        assert all(f >= 0.0 for f in feats)
+
+    def test_map_feature_vanishes_without_charge(self):
+        charged = layer_features(
+            BASE, LayerConfig(), "a100", "fp16", charge_mapping=True
+        )
+        free = layer_features(
+            BASE, LayerConfig(), "a100", "fp16", charge_mapping=False
+        )
+        map_idx = FEATURE_NAMES.index("map_us")
+        assert free[map_idx] == 0.0
+        assert charged[map_idx] > 0.0
+
+    def test_splits_reduce_issued_work(self):
+        """Sorted implicit GEMM with more splits pads less (Figure 11)."""
+        gemm_idx = FEATURE_NAMES.index("gemm_us")
+        gemms = [
+            layer_features(
+                BASE,
+                LayerConfig(
+                    ig_config=ImplicitGemmConfig.from_paper_notation(s)
+                ),
+                "a100",
+                "fp16",
+            )[gemm_idx]
+            for s in (1, 2, 4)
+        ]
+        assert gemms[0] > gemms[1] > gemms[2]
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, fitted, tmp_path):
+        model, _ = fitted
+        path = tmp_path / "surrogate.json"
+        model.save(path)
+        loaded = SurrogateModel.load(path)
+        assert loaded.coefficients == model.coefficients
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(ConfigError):
+            SurrogateModel.load(tmp_path / "missing.json")
+
+    def test_load_rejects_feature_set_mismatch(self, fitted, tmp_path):
+        import json
+
+        model, _ = fitted
+        path = tmp_path / "surrogate.json"
+        model.save(path)
+        payload = json.loads(path.read_text())
+        payload["features"] = ["other"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigError):
+            SurrogateModel.load(path)

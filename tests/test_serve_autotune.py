@@ -1,0 +1,116 @@
+"""Serving-integration tests for the online autotuner.
+
+The acceptance criterion: serve-bench with a pre-warmed tuning DB shows
+measurably lower time-to-first-tuned-config than a cold start, and the
+amortization is visible in the metrics.
+"""
+
+import pytest
+
+from repro.serve import ServeConfig, ServingRuntime
+from repro.serve.arrivals import PoissonArrivals, generate_requests
+
+WORKLOAD = "SK-M-0.5"
+SCALE = 0.1
+
+
+def requests(count=16, seed=3):
+    return generate_requests(
+        WORKLOAD,
+        PoissonArrivals(rate_per_s=40, seed=seed),
+        count=count,
+    )
+
+
+def serve_once(db_path, **overrides):
+    config = ServeConfig(
+        device="3090",
+        scene_scale=SCALE,
+        tuning_db=str(db_path),
+        **overrides,
+    )
+    runtime = ServingRuntime(config)
+    result = runtime.serve(requests())
+    return runtime, result.metrics
+
+
+class TestConfig:
+    def test_negative_background_tune_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            ServeConfig(background_tune_ms=-1.0)
+
+    def test_empty_tuning_db_path_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            ServeConfig(tuning_db="  ")
+
+    def test_no_tuning_db_means_no_tuner(self):
+        runtime = ServingRuntime(ServeConfig(scene_scale=SCALE))
+        assert runtime.tuning_db is None
+        assert runtime.online_tuner is None
+        with pytest.raises(Exception):
+            runtime.save_tuning_db()
+
+
+class TestColdStart:
+    def test_cold_run_background_tunes_then_hits(self, tmp_path):
+        runtime, metrics = serve_once(tmp_path / "db.json")
+        assert metrics.tuning_db_misses > 0
+        assert metrics.background_tunes >= 1
+        # The background tune completed on the virtual clock and later
+        # batches were served tuned.
+        assert metrics.time_to_first_tuned_ms > 0
+        assert len(runtime.tuning_db) > 0
+
+    def test_cold_run_persists_learned_entries(self, tmp_path):
+        path = tmp_path / "db.json"
+        runtime, _ = serve_once(path)
+        runtime.save_tuning_db()
+        from repro.autotune import TuningDatabase
+
+        saved = TuningDatabase.load(path)
+        assert len(saved) == len(runtime.tuning_db)
+
+
+class TestWarmAmortization:
+    def test_warm_db_lowers_time_to_first_tuned(self, tmp_path):
+        path = tmp_path / "db.json"
+        cold_runtime, cold = serve_once(path)
+        cold_runtime.save_tuning_db()
+        _, warm = serve_once(path)
+        assert warm.tuning_db_misses == 0
+        assert warm.background_tunes == 0
+        assert warm.time_to_first_tuned_ms < cold.time_to_first_tuned_ms
+
+    def test_warm_run_never_degrades(self, tmp_path):
+        path = tmp_path / "db.json"
+        cold_runtime, cold = serve_once(path)
+        cold_runtime.save_tuning_db()
+        _, warm = serve_once(path)
+        assert warm.degraded == 0
+        assert warm.degraded <= cold.degraded
+
+    def test_metrics_render_amortization(self, tmp_path):
+        _, metrics = serve_once(tmp_path / "db.json")
+        table = metrics.to_table()
+        assert "tuning db hits / misses" in table
+        assert "time to first tuned" in table
+
+
+class TestDeterminism:
+    def test_two_cold_runs_byte_identical_dbs(self, tmp_path):
+        paths = []
+        for name in ("a", "b"):
+            path = tmp_path / f"{name}.json"
+            runtime, _ = serve_once(path)
+            runtime.save_tuning_db()
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_metrics_deterministic_given_db_state(self, tmp_path):
+        _, first = serve_once(tmp_path / "a.json")
+        _, second = serve_once(tmp_path / "b.json")
+        assert first.to_json() == second.to_json()

@@ -97,3 +97,32 @@ class TestRoundTrip:
         save_policy(policy, first)
         save_policy(load_policy(first), second)
         assert first.read_text() == second.read_text()
+
+    def test_gs_chunks_survives_round_trip(self, tmp_path):
+        """Regression: gs_chunks used to be silently dropped on save,
+        so chunked gather-scatter policies reloaded unchunked."""
+        from repro.kernels.registry import Dataflow
+
+        config = LayerConfig(dataflow=Dataflow.GATHER_SCATTER, gs_chunks=4)
+        policy = GroupPolicy({("sig",): {Role.FORWARD: config}})
+        path = tmp_path / "policy.json"
+        save_policy(policy, path)
+        loaded = load_policy(path)
+        assert loaded.config(("sig",)).gs_chunks == 4
+        assert loaded.config(("sig",)) == config
+
+    def test_legacy_policy_without_gs_chunks_loads(self, tmp_path):
+        """Policies written before gs_chunks existed load at the default."""
+        import json
+
+        config = LayerConfig()
+        policy = GroupPolicy({("sig",): {Role.FORWARD: config}})
+        path = tmp_path / "policy.json"
+        save_policy(policy, path)
+        payload = json.loads(path.read_text())
+        for by_role in payload.values():
+            for cfg in by_role.values():
+                del cfg["gs_chunks"]
+        path.write_text(json.dumps(payload))
+        loaded = load_policy(path)
+        assert loaded.config(("sig",)).gs_chunks == 1
