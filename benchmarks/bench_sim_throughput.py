@@ -7,6 +7,9 @@ they did not regress the simulator itself:
 * ``estimate_us_per_call`` — cost of pricing an already-built trace
   (:func:`repro.gpusim.engine.estimate_trace_us`), the inner loop of every
   tuner verification;
+* ``scheduled_estimate_us_per_call`` — cost of the same pricing through
+  the 4-stream list scheduler (``streams=4``), plus the deterministic
+  ``scheduled_vs_serialized_latency`` ratio of the simulated result;
 * ``trace_us_per_call`` — cost of *constructing* a layer trace
   (:func:`repro.kernels.registry.trace_dataflow`), what the surrogate
   model exists to avoid;
@@ -78,6 +81,9 @@ def bench_engine():
     estimate_us, estimate_calls = _time_per_call(
         lambda: estimate_trace_us(trace, device, "fp16")
     )
+    scheduled_us, scheduled_calls = _time_per_call(
+        lambda: estimate_trace_us(trace, device, "fp16", streams=4)
+    )
     trace_us, trace_calls = _time_per_call(
         lambda: trace_dataflow(
             Dataflow.IMPLICIT_GEMM, kmap, c_in, c_out, precision="fp16"
@@ -88,9 +94,18 @@ def bench_engine():
     surrogate_us, surrogate_calls = _time_per_call(
         lambda: surrogate.predict(shape, config, device, "fp16")
     )
+    # Deterministic simulated ratio: the 4-stream schedule of this layer
+    # trace vs its serialized estimate (machine-independent).
+    serialized_sim = estimate_trace_us(trace, device, "fp16")
+    scheduled_sim = estimate_trace_us(trace, device, "fp16", streams=4)
     return {
         "estimate_us_per_call": round(estimate_us, 3),
         "estimate_calls": estimate_calls,
+        "scheduled_estimate_us_per_call": round(scheduled_us, 3),
+        "scheduled_calls": scheduled_calls,
+        "scheduled_vs_serialized_latency": round(
+            scheduled_sim / serialized_sim, 4
+        ),
         "trace_us_per_call": round(trace_us, 3),
         "trace_calls": trace_calls,
         "surrogate_us_per_call": round(surrogate_us, 3),

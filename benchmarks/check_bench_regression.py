@@ -1,0 +1,89 @@
+"""Bench regression gate: compare a fresh ``BENCH_sim_throughput.json``
+against a committed baseline and fail on wall-clock regressions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py
+    python benchmarks/check_bench_regression.py BASELINE.json CANDIDATE.json
+
+Every gated field is a mean microseconds-per-call figure; the candidate
+may exceed the baseline by at most ``--max-regression`` (default 0.20,
+i.e. 20%).  Getting *faster* never fails.  Wall-clock numbers are
+machine-dependent: only compare runs from the same host class — after a
+runner or interpreter change, regenerate the committed baseline instead
+of chasing phantom regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Tuple
+
+#: (section, field) pairs gated on microseconds-per-call.
+GATED_FIELDS: Tuple[Tuple[str, str], ...] = (
+    ("engine", "estimate_us_per_call"),
+    ("engine", "scheduled_estimate_us_per_call"),
+    ("engine", "trace_us_per_call"),
+    ("engine", "surrogate_us_per_call"),
+)
+
+
+def compare(
+    baseline: Dict, candidate: Dict, max_regression: float
+) -> List[str]:
+    """Return a list of human-readable failures (empty = gate passes)."""
+    failures: List[str] = []
+    for section, field in GATED_FIELDS:
+        try:
+            base = float(baseline[section][field])
+            cand = float(candidate[section][field])
+        except KeyError as missing:
+            failures.append(
+                f"{section}.{field}: missing key {missing} "
+                f"(baseline schema drift? regenerate the baseline)"
+            )
+            continue
+        if base <= 0.0:
+            failures.append(f"{section}.{field}: non-positive baseline {base}")
+            continue
+        ratio = cand / base
+        if ratio > 1.0 + max_regression:
+            failures.append(
+                f"{section}.{field}: {base:.3f} -> {cand:.3f} us/call "
+                f"({100 * (ratio - 1):.1f}% slower, limit "
+                f"{100 * max_regression:.0f}%)"
+            )
+    return failures
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH json")
+    parser.add_argument("candidate", help="freshly generated BENCH json")
+    parser.add_argument(
+        "--max-regression", type=float, default=0.20,
+        help="allowed fractional slowdown per field (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.candidate) as fh:
+        candidate = json.load(fh)
+    failures = compare(baseline, candidate, args.max_regression)
+    for section, field in GATED_FIELDS:
+        base = baseline.get(section, {}).get(field)
+        cand = candidate.get(section, {}).get(field)
+        print(f"{section}.{field}: baseline {base} candidate {cand}")
+    if failures:
+        print("\nbench regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -334,7 +334,9 @@ def _rule_tile_alignment(ctx: LintContext) -> List[Finding]:
             seen.add(key)
             # Network-boundary widths (dataset features, class counts) are
             # fixed by the task, not the architect: never above info.
-            boundary = fixed_when in node.boundary.split("+") if node.boundary else False
+            boundary = (
+                fixed_when in node.boundary.split("+") if node.boundary else False
+            )
             if boundary:
                 severity = Severity.INFO
             elif waste >= WASTE_WARNING_THRESHOLD:
@@ -438,7 +440,10 @@ def _rule_dataflow_precision(ctx: LintContext) -> List[Finding]:
 )
 def _rule_kmap_reuse(ctx: LintContext) -> List[Finding]:
     findings: List[Finding] = []
-    for key, builds in sorted(ctx.ir.map_builds().items(), key=lambda kv: kv[1][0].path):
+    builds_by_key = sorted(
+        ctx.ir.map_builds().items(), key=lambda kv: kv[1][0].path
+    )
+    for key, builds in builds_by_key:
         if len(builds) < 2:
             continue
         stride, kernel, conv_stride, _ = key
@@ -607,6 +612,53 @@ def _rule_critical_path_bound(ctx: LintContext) -> List[Finding]:
     return _depgraph_findings(
         ctx, "critical-path-bound", ("critical-path-bound",)
     )
+
+
+#: Serialized-over-critical-path ratio at or above this reports untapped
+#: launch parallelism (info): multi-stream scheduling could overlap work.
+PARALLELISM_INFO_THRESHOLD = 1.5
+
+
+@lint_rule(
+    "launch-parallelism",
+    "traces with a short critical path benefit from multi-stream overlap",
+)
+def _rule_launch_parallelism(ctx: LintContext) -> List[Finding]:
+    if ctx.trace is None or len(ctx.trace) == 0:
+        return []
+    from repro.analyze.depgraph import DependenceGraph
+    from repro.gpusim.engine import estimate_launch_us
+
+    graph = DependenceGraph.build(ctx.trace)
+    _, span = graph.critical_path(ctx.device, ctx.precision)
+    if span <= 0.0:
+        return []
+    serialized = sum(
+        estimate_launch_us(launch, ctx.device, ctx.precision)
+        for launch in ctx.trace
+    )
+    parallelism = serialized / span
+    if parallelism < PARALLELISM_INFO_THRESHOLD:
+        return []
+    return [
+        Finding(
+            rule="launch-parallelism",
+            severity=Severity.INFO,
+            path="<trace>",
+            message=(
+                f"dependence DAG exposes {parallelism:.2f}x available "
+                f"launch parallelism (serialized {serialized:.0f} us vs "
+                f"critical path {span:.0f} us); schedule onto multiple "
+                f"streams (gpu_streams > 1, `repro depgraph --schedule`) "
+                f"to overlap independent launches"
+            ),
+            data={
+                "parallelism": round(parallelism, 3),
+                "serialized_us": round(serialized, 3),
+                "critical_path_us": round(span, 3),
+            },
+        )
+    ]
 
 
 # ---------------------------------------------------------------------- #

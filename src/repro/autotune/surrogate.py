@@ -54,6 +54,7 @@ FEATURE_NAMES: Tuple[str, ...] = (
     "launch_us",    # fixed per-launch host overhead
     "map_us",       # kernel-map construction + sort/reorder
     "pad_us",       # tile-quantization padding waste
+    "overlap_us",   # multi-stream overlap credit (negative; 0 at 1 stream)
 )
 
 #: Scalar ops charged per hash probe / gathered element (mirrors
@@ -130,6 +131,7 @@ def layer_features(
     device: Union[DeviceSpec, str],
     precision: Union[Precision, str],
     charge_mapping: bool = True,
+    streams: int = 1,
 ) -> Tuple[float, ...]:
     """Closed-form feature vector for one (layer, config, device) point.
 
@@ -137,6 +139,13 @@ def layer_features(
     the fitted coefficients absorb what the closed forms miss (wave
     quantization, bandwidth derating, atomic serialization).  Cost is a
     handful of scalar ops — no trace, no per-element work.
+
+    ``streams > 1`` activates the ``overlap_us`` feature: a *negative*
+    analytic credit for the mapping work and launch overhead a
+    multi-stream schedule hides behind neighbouring compute.  The feature
+    is identically 0.0 at one stream, so single-stream fits and
+    predictions are unaffected; non-negative coefficients keep the
+    prediction monotone (more streams never predicts slower).
     """
     spec = get_device(device)
     precision = Precision.parse(precision)
@@ -242,7 +251,14 @@ def layer_features(
             map_us += 8.0 * n_out * volume / bw
     else:
         map_us = 0.0
-    return (gemm_us, mem_us, scalar_us, launch_us, map_us, pad_us)
+    overlap_us = 0.0
+    if streams > 1:
+        # What a K-stream list schedule can hide: the mapping pipeline and
+        # launch gaps run concurrently with adjacent layers' main compute
+        # (the gpusim scheduler proves the exact figure; this is its
+        # closed-form shadow).
+        overlap_us = -(1.0 - 1.0 / float(streams)) * (map_us + launch_us)
+    return (gemm_us, mem_us, scalar_us, launch_us, map_us, pad_us, overlap_us)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -261,8 +277,13 @@ def measure_sample(
     config: LayerConfig,
     device: Union[DeviceSpec, str],
     precision: Union[Precision, str],
+    streams: int = 1,
 ) -> TrainingSample:
-    """Trace one layer/config for real and pair it with its features."""
+    """Trace one layer/config for real and pair it with its features.
+
+    ``streams > 1`` prices the target with the multi-stream scheduler and
+    activates the features' overlap credit, so a fit can calibrate it.
+    """
     spec = get_device(device)
     precision = Precision.parse(precision)
     trace = trace_dataflow(
@@ -277,11 +298,11 @@ def measure_sample(
         charge_mapping=True,
         gs_chunks=config.gs_chunks,
     )
-    target = estimate_trace_us(trace, spec, precision)
+    target = estimate_trace_us(trace, spec, precision, streams)
     shape = LayerShape.from_kmap(kmap, c_in, c_out)
     return TrainingSample(
         family=family_of(config),
-        features=layer_features(shape, config, spec, precision),
+        features=layer_features(shape, config, spec, precision, streams=streams),
         target_us=target,
     )
 
@@ -375,11 +396,14 @@ class SurrogateModel:
         device: Union[DeviceSpec, str],
         precision: Union[Precision, str],
         charge_mapping: bool = True,
+        streams: int = 1,
     ) -> float:
         """Predicted latency in microseconds — no trace is constructed."""
         return self.predict_features(
             family_of(config),
-            layer_features(shape, config, device, precision, charge_mapping),
+            layer_features(
+                shape, config, device, precision, charge_mapping, streams
+            ),
         )
 
     # -- fitting ------------------------------------------------------- #

@@ -470,6 +470,7 @@ def _cmd_serve_bench(args) -> int:
         hedge_ms=args.hedge_ms,
         tuning_db=args.tuning_db,
         mem_headroom=args.mem_headroom,
+        gpu_streams=args.gpu_streams,
     )
     runtime = ServingRuntime(config)
     if args.tuning_db:
@@ -565,21 +566,59 @@ def _trace_workload(args):
 
 
 def _cmd_depgraph(args) -> int:
-    from repro.analyze.depgraph import (
-        DependenceGraph,
-        check_depgraph,
-        depgraph_report_json,
-    )
+    import json as _json
+
+    from repro.analyze.depgraph import DependenceGraph, check_depgraph
     from repro.gpusim.engine import estimate_launch_us
+    from repro.opt import PassPipeline, best_schedule, schedule_report_json
+    from repro.opt.program import LaunchProgram
 
     _validate_target(args.device, args.precision)
+    if args.gpu_streams < 1:
+        raise ValueError(f"--gpu-streams must be >= 1, got {args.gpu_streams}")
     workload, _, ctx = _trace_workload(args)
     device, precision, trace = ctx.device, ctx.precision, ctx.trace
+
+    pass_names = None
+    if args.passes:
+        pass_names = [p.strip() for p in args.passes.split(",") if p.strip()]
+    run_passes = args.optimize or pass_names is not None
+    pass_rows = []
+    if run_passes:
+        program = LaunchProgram.from_trace(trace)
+        results = PassPipeline(pass_names).run(program)
+        trace = program.to_trace()
+        pass_rows = [
+            {
+                "name": r.name,
+                "changed": r.changed,
+                "launches_before": r.before.launches,
+                "launches_after": r.after.launches,
+                "peak_workspace_before": round(r.before.peak_workspace_bytes, 3),
+                "peak_workspace_after": round(r.after.peak_workspace_bytes, 3),
+            }
+            for r in results
+        ]
+
     violations = check_depgraph(trace, device, precision)
-    if args.json:
-        print(depgraph_report_json(trace, device, precision))
-        return 1 if violations else 0
     graph = DependenceGraph.build(trace)
+    schedule = None
+    if args.schedule:
+        schedule = best_schedule(
+            trace, device, precision, args.gpu_streams, graph
+        )
+    if args.json:
+        doc = graph.to_json(device, precision)
+        doc["violations"] = [
+            {"invariant": v.invariant, "launch": v.launch, "message": v.message}
+            for v in violations
+        ]
+        if pass_rows:
+            doc["passes"] = pass_rows
+        if schedule is not None:
+            doc["schedule"] = schedule_report_json(schedule)
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+        return 1 if violations else 0
     if args.dot:
         print(graph.to_dot())
         return 1 if violations else 0
@@ -600,6 +639,21 @@ def _cmd_depgraph(args) -> int:
         if span > 0
         else "empty trace"
     )
+    for row in pass_rows:
+        delta = row["launches_before"] - row["launches_after"]
+        ws = row["peak_workspace_before"] - row["peak_workspace_after"]
+        effect = (
+            f"-{delta} launches, -{ws:.0f} workspace bytes"
+            if row["changed"]
+            else "no-op"
+        )
+        print(f"pass {row['name']}: {effect}")
+    if schedule is not None:
+        print(
+            f"scheduled ({schedule.streams} of {args.gpu_streams} streams "
+            f"used best): {schedule.makespan_us:.1f} us, "
+            f"{schedule.speedup:.2f}x over serialized"
+        )
     rows = [
         [i, f"{estimate_launch_us(graph.launches[i], device, precision):.2f}",
          graph.launches[i].kind.value, graph.launches[i].name]
@@ -922,6 +976,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--streams", type=int, default=4,
                        help="scene streams (vehicles) in the request mix")
+    serve.add_argument(
+        "--gpu-streams", type=int, default=1,
+        help="virtual GPU streams per replica: kernel launches overlap "
+             "across the dependence DAG (default 1 = serialized)",
+    )
     serve.add_argument("--deadline-ms", type=float, default=200.0)
     serve.add_argument("--queue-depth", type=int, default=32)
     serve.add_argument("--point-budget", type=int, default=400_000)
@@ -1107,6 +1166,25 @@ def build_parser() -> argparse.ArgumentParser:
     depgraph.add_argument(
         "--max-rows", type=int, default=15,
         help="critical-path table rows in text output",
+    )
+    depgraph.add_argument(
+        "--schedule", action="store_true",
+        help="list-schedule the DAG onto virtual streams and report the "
+             "makespan (critical_path <= scheduled <= serialized)",
+    )
+    depgraph.add_argument(
+        "--gpu-streams", type=int, default=4,
+        help="virtual streams available to --schedule (default 4)",
+    )
+    depgraph.add_argument(
+        "--passes", default=None, metavar="P1,P2,...",
+        help="run these optimization passes (repro.opt) on the trace "
+             "before analysis; names: hoist-maps, fuse, hoist-invariants, "
+             "dle, plan-workspace",
+    )
+    depgraph.add_argument(
+        "-O", "--optimize", action="store_true",
+        help="run the default optimization pipeline before analysis",
     )
     export = depgraph.add_mutually_exclusive_group()
     export.add_argument(

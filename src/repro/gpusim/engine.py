@@ -72,14 +72,29 @@ def estimate_launch_us(
 
 
 def estimate_trace_us(
-    trace: KernelTrace, device: DeviceSpec, precision: "Precision | str"
+    trace: KernelTrace,
+    device: DeviceSpec,
+    precision: "Precision | str",
+    streams: int = 1,
 ) -> float:
-    """Total latency of a trace in microseconds (launches are serialized).
+    """Total latency of a trace in microseconds.
 
-    Sparse convolution layers are data-dependent, so real libraries execute
-    them on one stream; serializing launches matches that.
+    With ``streams=1`` (the default) launches serialize on one stream —
+    sparse convolution layers are data-dependent, so that matches what
+    real single-stream libraries do.  With ``streams=K > 1`` the trace is
+    list-scheduled onto K virtual streams respecting its dependence DAG
+    (:mod:`repro.opt.schedule`), so the result lands in
+    ``[critical_path, serialized]``.
     """
     precision = Precision.parse(precision)
+    if streams < 1:
+        raise ValueError(f"streams must be >= 1, got {streams}")
+    if streams > 1:
+        # Imported lazily: repro.opt depends on this module for launch
+        # pricing, so a top-level import would be circular.
+        from repro.opt.schedule import scheduled_trace_us
+
+        return scheduled_trace_us(trace, device, precision, streams)
     return sum(estimate_launch_us(l, device, precision) for l in trace)
 
 

@@ -129,6 +129,20 @@ class KernelLaunch:
             Empty sets mean "unannotated" and opt the launch out of
             dependence checking (the byte counters above stay the source
             of truth for the latency model).
+        fuse_group: Optimizer metadata: launches that share a non-empty
+            ``fuse_group`` form one fusable producer/consumer chain (e.g.
+            the gather -> gemm -> scatter triple for one offset).  The
+            fusion pass may replace a *contiguous* run of same-group
+            launches with a single fused launch; ``""`` opts out.
+        hoistable_scalar_ops: Optimizer metadata: the portion of
+            ``scalar_ops`` that is loop-invariant address arithmetic a
+            hoisting pass may remove (Section 3.2 / Figure 20).  Must not
+            exceed ``scalar_ops``.
+        untracked_workspace_bytes: Optimizer metadata: transient bytes
+            inside ``workspace_bytes`` that are *not* named in
+            ``reads``/``writes`` (pair lists, per-CTA scratch).  The
+            workspace-reuse planner keeps at least this much headroom when
+            tightening a launch's declared workspace.
     """
 
     name: str
@@ -145,6 +159,9 @@ class KernelLaunch:
     compute_efficiency: float = 1.0
     reads: Tuple[BufferAccess, ...] = ()
     writes: Tuple[BufferAccess, ...] = ()
+    fuse_group: str = ""
+    hoistable_scalar_ops: float = 0.0
+    untracked_workspace_bytes: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0.0 < self.compute_efficiency <= 1.0:
@@ -154,9 +171,20 @@ class KernelLaunch:
         if self.ctas < 1:
             raise ValueError(f"ctas must be >= 1, got {self.ctas}")
         for field in ("flops", "dram_read_bytes", "dram_write_bytes",
-                      "atomic_write_bytes", "scalar_ops", "workspace_bytes"):
+                      "atomic_write_bytes", "scalar_ops", "workspace_bytes",
+                      "hoistable_scalar_ops", "untracked_workspace_bytes"):
             if getattr(self, field) < 0:
                 raise ValueError(f"{field} must be non-negative")
+        if self.hoistable_scalar_ops > self.scalar_ops:
+            raise ValueError(
+                f"hoistable_scalar_ops ({self.hoistable_scalar_ops}) must not "
+                f"exceed scalar_ops ({self.scalar_ops})"
+            )
+        if self.untracked_workspace_bytes > self.workspace_bytes:
+            raise ValueError(
+                f"untracked_workspace_bytes ({self.untracked_workspace_bytes}) "
+                f"must not exceed workspace_bytes ({self.workspace_bytes})"
+            )
         if not isinstance(self.reads, tuple):
             self.reads = tuple(self.reads)
         if not isinstance(self.writes, tuple):

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.gpusim.trace import KernelLaunch, KernelTrace, LaunchKind, ext
 from repro.kernels.base import (
+    ADDRESS_OPS_HOISTED,
     DEFAULT_SCHEDULE,
     KernelSchedule,
     check_conv_args,
@@ -47,6 +48,16 @@ def _offset_launch(
     workspace_bytes: float,
 ) -> KernelLaunch:
     itemsize = precision.itemsize
+    # Naive dynamic-shape addressing above the hoisted floor is
+    # loop-invariant arithmetic the hoisting pass (repro.opt) may remove;
+    # fixed-shape kernels already folded it at compile time.
+    hoistable = 0.0
+    if not schedule.fixed_shape and not schedule.hoist_invariants:
+        hoistable = (
+            (schedule.address_ops_per_element - ADDRESS_OPS_HOISTED)
+            * size
+            * c_in
+        )
     return KernelLaunch(
         name=name,
         kind=LaunchKind.GEMM,
@@ -62,6 +73,10 @@ def _offset_launch(
         compute_efficiency=gemm_efficiency(
             efficiency_m, c_out, c_in, schedule
         ),
+        hoistable_scalar_ops=hoistable,
+        # The streamed pair lists are the launch's whole workspace and are
+        # not named ws: buffers (the kmap is external).
+        untracked_workspace_bytes=workspace_bytes,
         reads=(
             ext("feats_in", itemsize * size * c_in),
             ext("kmap_pairs", 8.0 * size),

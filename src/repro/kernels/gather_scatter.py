@@ -128,6 +128,10 @@ def gather_gemm_scatter_trace(
                 suffix = f".chunk{ci}" if n_chunks > 1 else ""
                 stage_in = f"gs_in.k{k}{suffix}"
                 stage_out = f"gs_out.k{k}{suffix}"
+                # Each triple is one fusable producer/consumer chain; the
+                # group id is also the fused launch's name, chosen so the
+                # race checker still sees a single-offset scatter class.
+                group = f"gather_gemm_scatter/offset{k}{suffix}"
                 trace.add(
                     KernelLaunch(
                         name=f"gather/offset{k}{suffix}",
@@ -142,6 +146,8 @@ def gather_gemm_scatter_trace(
                             ext("kmap_pairs", 8.0 * rows),
                         ),
                         writes=(ws(stage_in, itemsize * rows * c_in),),
+                        fuse_group=group,
+                        untracked_workspace_bytes=pair_bytes,
                     )
                 )
                 gemm = _gemm_launch(
@@ -156,6 +162,8 @@ def gather_gemm_scatter_trace(
                     ext("weights", itemsize * c_in * c_out),
                 )
                 gemm.writes = (ws(stage_out, itemsize * rows * c_out),)
+                gemm.fuse_group = group
+                gemm.untracked_workspace_bytes = pair_bytes
                 trace.add(gemm)
                 trace.add(
                     KernelLaunch(
@@ -176,6 +184,8 @@ def gather_gemm_scatter_trace(
                             ext("out_accum", 4.0 * rows * c_out),
                         ),
                         writes=(ext("out_accum", 4.0 * rows * c_out),),
+                        fuse_group=group,
+                        untracked_workspace_bytes=pair_bytes,
                     )
                 )
     else:
@@ -202,6 +212,7 @@ def gather_gemm_scatter_trace(
                     ext("kmap_pairs", 8.0 * total_pairs),
                 ),
                 writes=(ws("gs_in", gather_buf),),
+                untracked_workspace_bytes=pair_bytes,
             )
         )
         # Each group stages its padded output in its own buffer, so the
@@ -222,6 +233,7 @@ def gather_gemm_scatter_trace(
                 ext("weights", itemsize * len(group) * c_in * c_out),
             )
             gemm.writes = (ws(f"gs_staged.g{g}", group_out),)
+            gemm.untracked_workspace_bytes = pair_bytes
             trace.add(gemm)
         # One kernel scatters every offset's partials at once, so rows
         # targeting the same output index race within the launch: only the
@@ -255,6 +267,7 @@ def gather_gemm_scatter_trace(
                     ]
                 ),
                 writes=tuple(accum_writes),
+                untracked_workspace_bytes=pair_bytes,
             )
         )
 

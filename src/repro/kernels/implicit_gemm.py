@@ -31,6 +31,7 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.gpusim.trace import KernelLaunch, KernelTrace, LaunchKind, ext, ws
 from repro.kernels.base import (
+    ADDRESS_OPS_HOISTED,
     DEFAULT_SCHEDULE,
     ONLINE_REORDER_OPS,
     KernelSchedule,
@@ -110,6 +111,9 @@ def _mapping_trace(
             ctas=max(1, num_rows // 256),
             reads=(ext("nbmap", map_bytes),),
             writes=(ws("ig_keys", key_bytes),),
+            # The dense map is charged as transient here but read through
+            # the external nbmap buffer: untracked by ws: liveness.
+            untracked_workspace_bytes=map_bytes,
         )
     )
     trace.add(
@@ -126,6 +130,10 @@ def _mapping_trace(
             ctas=max(1, num_rows // 256),
             reads=(ws("ig_keys", key_bytes),),
             writes=(ws("ig_perm", 4.0 * num_rows),),
+            # Dense map + radix ping-pong buffers beyond the named keys/perm.
+            untracked_workspace_bytes=map_bytes
+            + 2.0 * key_bytes
+            - 4.0 * num_rows,
         )
     )
     if config.offline_reorder:
@@ -146,6 +154,8 @@ def _mapping_trace(
                     ws("ig_perm", 4.0 * num_rows),
                 ),
                 writes=(ws("ig_map_sorted", map_bytes),),
+                # The external source map is charged transient here.
+                untracked_workspace_bytes=map_bytes,
             )
         )
     return trace
@@ -215,6 +225,15 @@ def implicit_gemm_trace(
     scalar_per_element = (
         schedule.address_ops_per_element + schedule.boundary_ops_per_element
     )
+    # Naive dynamic-shape addressing above the hoisted floor is the
+    # loop-invariant arithmetic the hoisting pass (repro.opt) removes —
+    # exactly the Figure 20 quantity.  Boundary checks and online-reorder
+    # indirections are per-element and stay.
+    hoistable_per_element = 0.0
+    if not schedule.fixed_shape and not schedule.hoist_invariants:
+        hoistable_per_element = (
+            schedule.address_ops_per_element - ADDRESS_OPS_HOISTED
+        )
     a_read_amplification = 1.0
     if config.sort and not config.offline_reorder:
         # Online reordering chases the permutation inside the kernel: an
@@ -259,6 +278,14 @@ def implicit_gemm_trace(
         if split_buffers
         else (ext("feats_out", itemsize * num_rows * c_out),)
     )
+    # Workspace the main launch holds beyond its named ws: accesses (the
+    # dense map read through external buffers, the online permutation when
+    # maps are warm): the reuse planner must keep this much headroom.
+    tracked_ws = 0.0
+    if sorted_here and charge_mapping:
+        tracked_ws += map_bytes if config.offline_reorder else 4.0 * num_rows
+    if split_buffers:
+        tracked_ws += 4.0 * config.num_splits * num_rows * c_out
     trace.add(
         KernelLaunch(
             name="implicit_gemm/main",
@@ -286,6 +313,8 @@ def implicit_gemm_trace(
                 + map_reads
             ),
             writes=main_writes,
+            hoistable_scalar_ops=hoistable_per_element * a_loads,
+            untracked_workspace_bytes=main_workspace - tracked_ws,
         )
     )
     if split_buffers:

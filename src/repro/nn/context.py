@@ -135,6 +135,10 @@ class ExecutionContext:
             either way because they depend only on geometry and shapes.
             This is how full-scale workloads (100k+ voxels, 256 channels)
             are costed without paying for the numpy matmuls.
+        gpu_streams: virtual GPU streams for the latency model; with
+            ``> 1`` the accumulated trace is list-scheduled onto its
+            dependence DAG (:mod:`repro.opt.schedule`) instead of
+            serialized.
     """
 
     def __init__(
@@ -146,7 +150,10 @@ class ExecutionContext:
         adaptive_tiling: bool = False,
         simulate_only: bool = False,
         map_cost_scale: float = 1.0,
+        gpu_streams: int = 1,
     ):
+        if gpu_streams < 1:
+            raise ValueError(f"gpu_streams must be >= 1, got {gpu_streams}")
         self.device = get_device(device)
         self.precision = Precision.parse(precision)
         self.policy = policy or FixedPolicy()
@@ -154,6 +161,7 @@ class ExecutionContext:
         self.training = training
         self.adaptive_tiling = adaptive_tiling
         self.simulate_only = simulate_only
+        self.gpu_streams = gpu_streams
         #: Multiplier on kernel-map construction cost (engines with slow
         #: coordinate managers, e.g. MinkowskiEngine, set this > 1).
         self.map_cost_scale = map_cost_scale
@@ -200,7 +208,9 @@ class ExecutionContext:
 
     def latency_us(self) -> float:
         """Simulated latency of everything traced so far."""
-        return estimate_trace_us(self.trace, self.device, self.precision)
+        return estimate_trace_us(
+            self.trace, self.device, self.precision, self.gpu_streams
+        )
 
     def latency_ms(self) -> float:
         return self.latency_us() / 1e3

@@ -1,0 +1,214 @@
+"""Multi-stream latency model: list-schedule a trace's DAG onto K streams.
+
+The scheduler walks launches in program order (a topological order of
+the dependence DAG) and places each on the stream where it can start
+earliest, subject to every dependence predecessor having finished.  This
+is classic Graham list scheduling with a program-order priority list:
+
+* every hazard edge is respected (a launch never starts before any of
+  its RAW/WAR/WAW predecessors finishes), so the schedule is valid by
+  construction;
+* ``K = 1`` reproduces the serialized estimate *exactly* — same launches,
+  same left-to-right summation order — so single-stream callers see
+  bit-identical latencies;
+* unannotated launches (empty read *and* write sets) are treated as
+  barriers: they wait for everything issued so far and everything after
+  waits for them.  A fully unannotated trace therefore schedules exactly
+  serialized — the model never claims overlap it cannot prove.
+
+Raw list scheduling is not monotone in K (Graham's anomalies: more
+streams can finish later), so :func:`scheduled_trace_us` reports the best
+makespan over 1..K streams.  That restores monotonicity and keeps the
+result inside ``[critical_path, serialized]``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analyze.depgraph import DependenceGraph
+from repro.gpusim.engine import estimate_launch_us
+from repro.gpusim.trace import KernelLaunch, KernelTrace
+from repro.hw.specs import DeviceSpec
+from repro.precision import Precision
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduledLaunch:
+    """Placement of one launch: stream assignment and time window (us)."""
+
+    index: int
+    name: str
+    stream: int
+    start_us: float
+    end_us: float
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamSchedule:
+    """A complete K-stream schedule of one trace."""
+
+    streams: int
+    makespan_us: float
+    serialized_us: float
+    critical_path_us: float
+    assignments: Tuple[ScheduledLaunch, ...]
+
+    @property
+    def used_streams(self) -> int:
+        return len({a.stream for a in self.assignments})
+
+    @property
+    def speedup(self) -> float:
+        """Serialized over scheduled latency (claimable overlap win)."""
+        if self.makespan_us <= 0.0:
+            return 1.0
+        return self.serialized_us / self.makespan_us
+
+
+def _is_barrier(launch: KernelLaunch) -> bool:
+    """Unannotated launches carry no hazard info: schedule conservatively."""
+    return not launch.reads and not launch.writes
+
+
+def list_schedule(
+    trace: "KernelTrace | Sequence[KernelLaunch]",
+    device: DeviceSpec,
+    precision: "Precision | str",
+    streams: int,
+    graph: Optional[DependenceGraph] = None,
+) -> StreamSchedule:
+    """Greedy program-order list schedule onto exactly ``streams`` streams.
+
+    Note: makespan is not guaranteed monotone in ``streams`` (Graham's
+    scheduling anomalies); use :func:`scheduled_trace_us` for a monotone
+    latency figure.
+    """
+    if streams < 1:
+        raise ValueError(f"streams must be >= 1, got {streams}")
+    precision = Precision.parse(precision)
+    launches = list(trace)
+    if graph is None:
+        graph = DependenceGraph.build(launches)
+    weights = [
+        estimate_launch_us(launch, device, precision) for launch in launches
+    ]
+    preds: List[List[int]] = [[] for _ in launches]
+    for edge in graph.edges:
+        preds[edge.dst].append(edge.src)
+
+    free_at = [0.0] * streams  # per-stream earliest free time
+    ends = [0.0] * len(launches)
+    horizon = 0.0  # max end time over everything issued so far
+    barrier_end = 0.0  # end of the latest barrier issued so far
+    assignments: List[ScheduledLaunch] = []
+    for i, launch in enumerate(launches):
+        ready = barrier_end
+        for p in preds[i]:
+            ready = max(ready, ends[p])
+        if _is_barrier(launch):
+            ready = max(ready, horizon)
+        # Earliest-free stream; ties break to the lowest index so the
+        # schedule is deterministic (and K=1 degenerates to serialized).
+        stream = min(range(streams), key=lambda s: (free_at[s], s))
+        start = max(ready, free_at[stream])
+        end = start + weights[i]
+        free_at[stream] = end
+        ends[i] = end
+        horizon = max(horizon, end)
+        if _is_barrier(launch):
+            barrier_end = max(barrier_end, end)
+        assignments.append(
+            ScheduledLaunch(
+                index=i,
+                name=launch.name,
+                stream=stream,
+                start_us=start,
+                end_us=end,
+            )
+        )
+
+    # Serialized latency summed in program order: for K=1 the makespan is
+    # the same left-to-right sum, so the two agree bitwise.
+    serialized = 0.0
+    for w in weights:
+        serialized += w
+    _, span = graph.critical_path(device, precision)
+    return StreamSchedule(
+        streams=streams,
+        makespan_us=horizon,
+        serialized_us=serialized,
+        critical_path_us=span,
+        assignments=tuple(assignments),
+    )
+
+
+def best_schedule(
+    trace: "KernelTrace | Sequence[KernelLaunch]",
+    device: DeviceSpec,
+    precision: "Precision | str",
+    streams: int,
+    graph: Optional[DependenceGraph] = None,
+) -> StreamSchedule:
+    """The best list schedule over 1..``streams`` streams.
+
+    Taking the min over stream counts sidesteps Graham's anomalies:
+    the result is monotone non-increasing in ``streams`` and always in
+    ``[critical_path, serialized]``.
+    """
+    launches = list(trace)
+    if graph is None:
+        graph = DependenceGraph.build(launches)
+    best: Optional[StreamSchedule] = None
+    for k in range(1, streams + 1):
+        candidate = list_schedule(launches, device, precision, k, graph)
+        if best is None or candidate.makespan_us < best.makespan_us:
+            best = candidate
+    assert best is not None
+    return best
+
+
+def scheduled_trace_us(
+    trace: "KernelTrace | Sequence[KernelLaunch]",
+    device: DeviceSpec,
+    precision: "Precision | str",
+    streams: int,
+    graph: Optional[DependenceGraph] = None,
+) -> float:
+    """Scheduled latency (us) of a trace on up to ``streams`` streams."""
+    return best_schedule(trace, device, precision, streams, graph).makespan_us
+
+
+def schedule_report_json(
+    schedule: StreamSchedule, ndigits: int = 3
+) -> Dict[str, object]:
+    """Deterministic JSON fragment for one schedule."""
+    return {
+        "streams": schedule.streams,
+        "used_streams": schedule.used_streams,
+        "scheduled_us": round(schedule.makespan_us, ndigits),
+        "serialized_us": round(schedule.serialized_us, ndigits),
+        "critical_path_us": round(schedule.critical_path_us, ndigits),
+        "speedup": round(schedule.speedup, ndigits),
+        "assignments": [
+            {
+                "index": a.index,
+                "name": a.name,
+                "stream": a.stream,
+                "start_us": round(a.start_us, ndigits),
+                "end_us": round(a.end_us, ndigits),
+            }
+            for a in schedule.assignments
+        ],
+    }
+
+
+__all__ = [
+    "ScheduledLaunch",
+    "StreamSchedule",
+    "list_schedule",
+    "best_schedule",
+    "scheduled_trace_us",
+    "schedule_report_json",
+]

@@ -131,6 +131,10 @@ class ServeConfig:
             (:func:`repro.analyze.lint_model`) and reject models with
             error-level findings (:class:`~repro.errors.AdmissionError`)
             before any replica accepts traffic for them.
+        gpu_streams: virtual GPU streams each replica overlaps
+            independent kernel launches on; ``> 1`` prices every batch
+            with the dependence-aware multi-stream scheduler
+            (:mod:`repro.opt.schedule`) instead of serializing launches.
         mem_headroom: fraction of each replica's DRAM reserved for what
             the simulator does not trace (CUDA context, fragmentation);
             the usable budget is ``dram_bytes * (1 - mem_headroom)``.  A
@@ -167,10 +171,15 @@ class ServeConfig:
     background_tune_ms: float = 25.0
     lint_admission: bool = True
     mem_headroom: float = 0.1
+    gpu_streams: int = 1
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
             raise ConfigError(f"replicas must be >= 1, got {self.replicas}")
+        if self.gpu_streams < 1:
+            raise ConfigError(
+                f"gpu_streams must be >= 1, got {self.gpu_streams}"
+            )
         if self.balancer not in BALANCERS:
             raise ConfigError(
                 f"unknown balancer {self.balancer!r}; known balancers: "
@@ -554,6 +563,7 @@ class ServingRuntime:
             policy=policy,
             simulate_only=True,
             adaptive_tiling=not degraded,
+            gpu_streams=self.config.gpu_streams,
         )
         kmap_hits: List[bool] = []
         samples: List[SparseTensor] = []
@@ -646,6 +656,7 @@ class ServingRuntime:
                 precision=plan.final.precision,
                 policy=FixedPolicy(plan.final.config),
                 simulate_only=True,
+                gpu_streams=self.config.gpu_streams,
             )
             retry.precharge(ctx.charged_keys())  # maps survive the OOM
             for sample in samples:

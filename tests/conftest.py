@@ -38,7 +38,7 @@ _PATCH_MODULES = (
 _real_estimate_trace_us = _engine.estimate_trace_us
 
 
-def _checked_estimate_trace_us(trace, device, precision):
+def _checked_estimate_trace_us(trace, device, precision, streams=1):
     violations = check_trace(trace)
     violations += check_depgraph(trace, device, precision)
     if violations:
@@ -47,7 +47,7 @@ def _checked_estimate_trace_us(trace, device, precision):
             f"trace sanitizer found {len(violations)} violation(s) in a "
             f"trace submitted for latency estimation:\n{details}"
         )
-    return _real_estimate_trace_us(trace, device, precision)
+    return _real_estimate_trace_us(trace, device, precision, streams)
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,58 @@
+"""Golden-schedule regression: ``repro depgraph --schedule --json`` must be
+byte-for-byte reproducible and must match the committed fixture.
+
+The fixture pins the whole scheduled-latency contract for one workload —
+stream assignments, start/end times, makespan, speedup — so any drift in
+the dependence builder, the launch cost model or the list scheduler shows
+up as a diff instead of a silent behavior change.  Regenerate (after an
+intentional model change) with:
+
+    PYTHONPATH=src python -m repro.cli depgraph SK-M-0.5 --scale 0.1 \
+        --batch 1 --schedule --json > tests/golden/depgraph_schedule.json
+"""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+GOLDEN = Path(__file__).parent / "golden" / "depgraph_schedule.json"
+ARGV = [
+    "depgraph", "SK-M-0.5", "--scale", "0.1", "--batch", "1",
+    "--schedule", "--json",
+]
+
+
+def run(capsys):
+    rc = main(ARGV)
+    out = capsys.readouterr().out
+    return rc, out
+
+
+class TestGoldenSchedule:
+    def test_two_runs_identical(self, capsys):
+        rc1, first = run(capsys)
+        rc2, second = run(capsys)
+        assert rc1 == rc2 == 0
+        assert first == second
+
+    def test_matches_committed_golden(self, capsys):
+        rc, out = run(capsys)
+        assert rc == 0
+        assert out == GOLDEN.read_text(), (
+            "scheduled-latency output drifted from the golden fixture; "
+            "if intentional, regenerate per this module's docstring"
+        )
+
+    def test_golden_schedule_invariants(self):
+        doc = json.loads(GOLDEN.read_text())
+        schedule = doc["schedule"]
+        assert schedule["streams"] >= 2
+        assert (
+            doc["critical_path_us"]
+            <= schedule["scheduled_us"]
+            <= schedule["serialized_us"]
+        )
+        assert schedule["scheduled_us"] < schedule["serialized_us"]
+        assert schedule["speedup"] > 1.0
+        assert len(schedule["assignments"]) == doc["launches"]
