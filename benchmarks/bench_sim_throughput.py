@@ -10,6 +10,10 @@ they did not regress the simulator itself:
 * ``scheduled_estimate_us_per_call`` — cost of the same pricing through
   the 4-stream list scheduler (``streams=4``), plus the deterministic
   ``scheduled_vs_serialized_latency`` ratio of the simulated result;
+* ``verify_us_per_call`` — cost of one happens-before race check
+  (:func:`repro.analyze.hb.check_schedule`) over the 4-stream schedule
+  of the same trace, the per-schedule price of the conftest sanitizer
+  and ``repro depgraph --verify``;
 * ``trace_us_per_call`` — cost of *constructing* a layer trace
   (:func:`repro.kernels.registry.trace_dataflow`), what the surrogate
   model exists to avoid;
@@ -63,11 +67,14 @@ def _time_per_call(fn, min_seconds=0.5):
 
 
 def bench_engine():
+    from repro.analyze.depgraph import DependenceGraph
+    from repro.analyze.hb import check_schedule
     from repro.autotune import LayerShape, SurrogateModel
     from repro.gpusim.engine import estimate_trace_us
     from repro.hw.specs import get_device
     from repro.kernels.registry import Dataflow, trace_dataflow
     from repro.nn.context import LayerConfig
+    from repro.opt.schedule import best_schedule
     from repro.sparse.kmap import build_kernel_map
 
     device = get_device("a100")
@@ -83,6 +90,13 @@ def bench_engine():
     )
     scheduled_us, scheduled_calls = _time_per_call(
         lambda: estimate_trace_us(trace, device, "fp16", streams=4)
+    )
+    launches = list(trace)
+    graph = DependenceGraph.build(launches)
+    schedule = best_schedule(launches, device, "fp16", 4, graph)
+    assert check_schedule(launches, schedule, graph) == []
+    verify_us, verify_calls = _time_per_call(
+        lambda: check_schedule(launches, schedule, graph)
     )
     trace_us, trace_calls = _time_per_call(
         lambda: trace_dataflow(
@@ -106,6 +120,9 @@ def bench_engine():
         "scheduled_vs_serialized_latency": round(
             scheduled_sim / serialized_sim, 4
         ),
+        "verify_us_per_call": round(verify_us, 3),
+        "verify_calls": verify_calls,
+        "verified_sync_events": len(schedule.events),
         "trace_us_per_call": round(trace_us, 3),
         "trace_calls": trace_calls,
         "surrogate_us_per_call": round(surrogate_us, 3),

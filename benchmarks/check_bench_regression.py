@@ -25,6 +25,7 @@ from typing import Dict, List, Tuple
 GATED_FIELDS: Tuple[Tuple[str, str], ...] = (
     ("engine", "estimate_us_per_call"),
     ("engine", "scheduled_estimate_us_per_call"),
+    ("engine", "verify_us_per_call"),
     ("engine", "trace_us_per_call"),
     ("engine", "surrogate_us_per_call"),
 )

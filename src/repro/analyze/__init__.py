@@ -27,6 +27,13 @@ from repro.analyze.depgraph import (
     check_latency_model,
     depgraph_report_json,
 )
+from repro.analyze.hb import (
+    HappensBefore,
+    SyncEvent,
+    check_schedule,
+    find_redundant_events,
+    redundant_sync_edges,
+)
 from repro.analyze.ir import (
     ChannelMismatch,
     IRNode,
@@ -192,6 +199,8 @@ __all__ = [
     "DependenceGraph",
     "Finding",
     "HANDLERS",
+    "HappensBefore",
+    "SyncEvent",
     "IRNode",
     "JoinEvent",
     "LayerRange",
@@ -212,9 +221,11 @@ __all__ = [
     "check_depgraph",
     "check_latency_model",
     "check_scatter_races",
+    "check_schedule",
     "check_trace",
     "collect_execution_trace",
     "depgraph_report_json",
+    "find_redundant_events",
     "lint_model",
     "lint_rule",
     "lint_workload",
@@ -222,6 +233,7 @@ __all__ = [
     "model_range_report",
     "precision_drop_veto",
     "propagate_ranges",
+    "redundant_sync_edges",
     "register_handler",
     "run_rules",
     "scatter_conflicts",

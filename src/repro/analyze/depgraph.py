@@ -387,9 +387,11 @@ def check_latency_model(
     device: DeviceSpec,
     precision: Precision,
     graph: Optional[DependenceGraph] = None,
+    streams: int = 2,
 ) -> List[TraceViolation]:
     """Cross-validate the serialized-stream estimate against the DAG
-    critical-path lower bound."""
+    critical-path lower bound, and the sync-aware multi-stream schedule
+    against both bounds plus the happens-before race detector."""
     launches = list(trace)
     if graph is None:
         graph = DependenceGraph.build(launches)
@@ -399,8 +401,9 @@ def check_latency_model(
         device,
         precision,
     )
+    violations: List[TraceViolation] = []
     if serialized < span * (1.0 - _EPS_REL) - _EPS_REL:
-        return [
+        violations.append(
             TraceViolation(
                 invariant="critical-path-bound",
                 message=(
@@ -409,8 +412,46 @@ def check_latency_model(
                     f"the latency model undercuts its own lower bound"
                 ),
             )
-        ]
-    return []
+        )
+    if streams > 1 and launches:
+        # Imported lazily: repro.opt builds on this module.
+        from repro.analyze.hb import check_schedule
+        from repro.opt.schedule import best_schedule
+
+        schedule = best_schedule(launches, device, precision, streams, graph)
+        # The schedule is bounded by its *own* weight sums (the same
+        # estimate_launch_us weights its makespan is built from), so
+        # this stays a scheduler-consistency check even when the trace
+        # estimate above disagrees with the DAG.
+        if schedule.makespan_us < span * (1.0 - _EPS_REL) - _EPS_REL:
+            violations.append(
+                TraceViolation(
+                    invariant="scheduled-latency-bound",
+                    message=(
+                        f"scheduled estimate {schedule.makespan_us:.3f} us "
+                        f"({schedule.streams} streams) is below the "
+                        f"dependence critical path {span:.3f} us: the "
+                        f"scheduler claims impossible overlap"
+                    ),
+                )
+            )
+        if schedule.makespan_us > schedule.serialized_us * (
+            1.0 + _EPS_REL
+        ) + _EPS_REL:
+            violations.append(
+                TraceViolation(
+                    invariant="scheduled-latency-bound",
+                    message=(
+                        f"scheduled estimate {schedule.makespan_us:.3f} us "
+                        f"({schedule.streams} streams) exceeds the "
+                        f"serialized latency "
+                        f"{schedule.serialized_us:.3f} us: min-over-K must "
+                        f"fall back to one stream"
+                    ),
+                )
+            )
+        violations.extend(check_schedule(launches, schedule, graph))
+    return violations
 
 
 def check_depgraph(

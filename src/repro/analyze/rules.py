@@ -33,7 +33,19 @@ from __future__ import annotations
 import dataclasses
 import enum
 import math
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
+
+if TYPE_CHECKING:
+    from repro.opt.schedule import StreamSchedule
 
 from repro.analyze.ir import ModelIR
 from repro.analyze.tracecheck import TraceViolation
@@ -51,6 +63,15 @@ WASTE_WARNING_THRESHOLD = 0.05
 
 #: Static weight footprint above this fraction of device DRAM is a warning.
 MEMORY_WARNING_FRACTION = 0.8
+
+#: Stream count the schedule-verification lint rules analyze at (matches
+#: the ``ServeConfig``/CLI ``gpu_streams`` default).
+LINT_SCHEDULE_STREAMS = 4
+
+#: Warn when sync overhead eats at least this fraction of the overlap win
+#: a sync-free schedule would claim.  Healthy bundled workloads sit below
+#: ~0.35 on every registered device.
+SYNC_OVERHEAD_WARNING_FRACTION = 0.5
 
 
 class Severity(enum.Enum):
@@ -116,6 +137,9 @@ class LintContext:
     _trace_violations: Optional[List[TraceViolation]] = dataclasses.field(
         default=None, repr=False
     )
+    _schedule: Optional["StreamSchedule"] = dataclasses.field(
+        default=None, repr=False
+    )
 
     def layer_config(self, signature: Any) -> LayerConfig:
         if self.policy is None:
@@ -133,6 +157,22 @@ class LintContext:
                 self.trace, device=self.device, precision=self.precision
             )
         return self._trace_violations
+
+    def stream_schedule(self) -> Optional["StreamSchedule"]:
+        """Sync-aware best schedule of ``trace`` at the lint stream count
+        (memoized; ``None`` without a trace)."""
+        if self.trace is None or len(self.trace) == 0:
+            return None
+        if self._schedule is None:
+            from repro.opt.schedule import best_schedule
+
+            self._schedule = best_schedule(
+                self.trace,
+                self.device,
+                self.precision,
+                LINT_SCHEDULE_STREAMS,
+            )
+        return self._schedule
 
 
 RuleFunc = Callable[[LintContext], List[Finding]]
@@ -610,7 +650,9 @@ def _rule_unordered_writes(ctx: LintContext) -> List[Finding]:
 )
 def _rule_critical_path_bound(ctx: LintContext) -> List[Finding]:
     return _depgraph_findings(
-        ctx, "critical-path-bound", ("critical-path-bound",)
+        ctx,
+        "critical-path-bound",
+        ("critical-path-bound", "scheduled-latency-bound"),
     )
 
 
@@ -656,6 +698,151 @@ def _rule_launch_parallelism(ctx: LintContext) -> List[Finding]:
                 "parallelism": round(parallelism, 3),
                 "serialized_us": round(serialized, 3),
                 "critical_path_us": round(span, 3),
+            },
+        )
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# Schedule-verification rules (need ``ctx.trace``)
+# ---------------------------------------------------------------------- #
+@lint_rule(
+    "unsynchronized-cross-stream-dep",
+    "every cross-stream dependence needs a happens-before sync event",
+)
+def _rule_unsynchronized_cross_stream(ctx: LintContext) -> List[Finding]:
+    schedule = ctx.stream_schedule()
+    if schedule is None:
+        return []
+    from repro.analyze.hb import check_schedule
+
+    findings = _depgraph_findings(
+        ctx,
+        "unsynchronized-cross-stream-dep",
+        (
+            "unsynchronized-cross-stream-dep",
+            "malformed-sync",
+            "malformed-schedule",
+        ),
+    )
+    seen = {(f.path, f.message) for f in findings}
+    assert ctx.trace is not None
+    for violation in check_schedule(ctx.trace, schedule):
+        key = (violation.launch or "<schedule>", violation.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        findings.append(
+            Finding(
+                rule="unsynchronized-cross-stream-dep",
+                severity=Severity.ERROR,
+                path=violation.launch or "<schedule>",
+                message=violation.message,
+                data={"invariant": violation.invariant},
+            )
+        )
+    return findings
+
+
+@lint_rule(
+    "redundant-sync",
+    "sync events already implied by happens-before are pure overhead",
+)
+def _rule_redundant_sync(ctx: LintContext) -> List[Finding]:
+    schedule = ctx.stream_schedule()
+    if schedule is None:
+        return []
+    from repro.analyze.hb import find_redundant_events
+
+    findings: List[Finding] = []
+    for event in find_redundant_events(schedule):
+        findings.append(
+            Finding(
+                rule="redundant-sync",
+                severity=Severity.INFO,
+                path=schedule.assignments[event.wait_index].name,
+                message=(
+                    f"sync event {event.event_id} (launch "
+                    f"{event.record_index} -> {event.wait_index}) is "
+                    f"redundant: the ordering is already implied by stream "
+                    f"program order and the remaining events — "
+                    f"{ctx.device.sync_event_us:g} us of pure overhead"
+                ),
+                data={
+                    "event": event.event_id,
+                    "record": event.record_index,
+                    "wait": event.wait_index,
+                },
+            )
+        )
+    removed = schedule.redundant_events_removed
+    if removed > 0:
+        saved_us = removed * ctx.device.sync_event_us
+        findings.append(
+            Finding(
+                rule="redundant-sync",
+                severity=Severity.INFO,
+                path="<schedule>",
+                message=(
+                    f"sync-point inference kept {len(schedule.events)} of "
+                    f"{len(schedule.events) + removed} candidate events: "
+                    f"transitive reduction removed {removed} already "
+                    f"implied by happens-before, saving {saved_us:.1f} us "
+                    f"of sync overhead"
+                ),
+                data={
+                    "kept": len(schedule.events),
+                    "removed": schedule.redundant_events_removed,
+                },
+            )
+        )
+    return findings
+
+
+@lint_rule(
+    "sync-overhead-dominates",
+    "multi-stream overlap must pay for its synchronization",
+)
+def _rule_sync_overhead_dominates(ctx: LintContext) -> List[Finding]:
+    schedule = ctx.stream_schedule()
+    if schedule is None:
+        return []
+    from repro.opt.schedule import best_schedule
+
+    assert ctx.trace is not None
+    free_device = dataclasses.replace(ctx.device, sync_event_us=0.0)
+    ideal = best_schedule(
+        ctx.trace, free_device, ctx.precision, LINT_SCHEDULE_STREAMS
+    )
+    win = ideal.serialized_us - ideal.makespan_us
+    if win <= 0.0:
+        return []  # no claimable overlap to begin with
+    lost = schedule.makespan_us - ideal.makespan_us
+    if lost < SYNC_OVERHEAD_WARNING_FRACTION * win:
+        return []
+    return [
+        Finding(
+            rule="sync-overhead-dominates",
+            severity=Severity.WARNING,
+            path="<trace>",
+            message=(
+                f"synchronization overhead ({ctx.device.sync_event_us:g} us "
+                f"per event) eats {100 * lost / win:.0f}% of the "
+                f"{win:.0f} us overlap win a sync-free schedule would claim "
+                f"on {LINT_SCHEDULE_STREAMS} streams"
+                + (
+                    f"; the sync-aware scheduler falls back to "
+                    f"{schedule.streams} stream(s)"
+                    if schedule.streams < ideal.streams
+                    else ""
+                )
+                + " — fuse launches or reduce cross-stream traffic"
+            ),
+            data={
+                "overlap_win_us": round(win, 3),
+                "sync_lost_us": round(lost, 3),
+                "fraction": round(lost / win, 4),
+                "sync_events": len(schedule.events),
             },
         )
     ]

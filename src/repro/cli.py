@@ -569,9 +569,11 @@ def _cmd_depgraph(args) -> int:
     import json as _json
 
     from repro.analyze.depgraph import DependenceGraph, check_depgraph
+    from repro.analyze.hb import check_schedule
     from repro.gpusim.engine import estimate_launch_us
     from repro.opt import PassPipeline, best_schedule, schedule_report_json
     from repro.opt.program import LaunchProgram
+    from repro.opt.schedule import schedule_from_json, schedule_to_dot
 
     _validate_target(args.device, args.precision)
     if args.gpu_streams < 1:
@@ -603,10 +605,26 @@ def _cmd_depgraph(args) -> int:
     violations = check_depgraph(trace, device, precision)
     graph = DependenceGraph.build(trace)
     schedule = None
-    if args.schedule:
+    loaded_schedule = False
+    if args.schedule_json:
+        with open(args.schedule_json) as fh:
+            doc_in = _json.load(fh)
+        if isinstance(doc_in, dict) and "schedule" in doc_in:
+            doc_in = doc_in["schedule"]
+        schedule = schedule_from_json(doc_in)
+        loaded_schedule = True
+    elif args.schedule:
         schedule = best_schedule(
             trace, device, precision, args.gpu_streams, graph
         )
+    verify_violations = []
+    if args.verify:
+        if schedule is None:
+            schedule = best_schedule(
+                trace, device, precision, args.gpu_streams, graph
+            )
+        verify_violations = check_schedule(trace, schedule, graph)
+    failed = bool(violations or verify_violations)
     if args.json:
         doc = graph.to_json(device, precision)
         doc["violations"] = [
@@ -617,11 +635,23 @@ def _cmd_depgraph(args) -> int:
             doc["passes"] = pass_rows
         if schedule is not None:
             doc["schedule"] = schedule_report_json(schedule)
+        if args.verify:
+            doc["schedule_verification"] = [
+                {
+                    "invariant": v.invariant,
+                    "launch": v.launch,
+                    "message": v.message,
+                }
+                for v in verify_violations
+            ]
         print(_json.dumps(doc, indent=2, sort_keys=True))
-        return 1 if violations else 0
+        return 1 if failed else 0
     if args.dot:
-        print(graph.to_dot())
-        return 1 if violations else 0
+        if schedule is not None:
+            print(schedule_to_dot(schedule))
+        else:
+            print(graph.to_dot())
+        return 1 if failed else 0
     counts = graph.edge_counts()
     path, span = graph.critical_path(device, precision)
     serialized = sum(
@@ -649,11 +679,32 @@ def _cmd_depgraph(args) -> int:
         )
         print(f"pass {row['name']}: {effect}")
     if schedule is not None:
-        print(
-            f"scheduled ({schedule.streams} of {args.gpu_streams} streams "
-            f"used best): {schedule.makespan_us:.1f} us, "
-            f"{schedule.speedup:.2f}x over serialized"
-        )
+        if loaded_schedule:
+            print(
+                f"loaded schedule ({args.schedule_json}): "
+                f"{schedule.streams} streams, {schedule.makespan_us:.1f} us, "
+                f"{len(schedule.events)} sync events"
+            )
+        else:
+            print(
+                f"scheduled ({schedule.streams} of {args.gpu_streams} "
+                f"streams used best): {schedule.makespan_us:.1f} us, "
+                f"{schedule.speedup:.2f}x over serialized, "
+                f"{len(schedule.events)} sync events "
+                f"({schedule.sync_us:.1f} us charged, "
+                f"{schedule.redundant_events_removed} removed as redundant)"
+            )
+    if args.verify and schedule is not None:
+        if verify_violations:
+            print(
+                f"schedule verification: {len(verify_violations)} "
+                f"happens-before violation(s)"
+            )
+        else:
+            print(
+                "schedule verification: every dependence edge is "
+                "happens-before ordered (race-free)"
+            )
     rows = [
         [i, f"{estimate_launch_us(graph.launches[i], device, precision):.2f}",
          graph.launches[i].kind.value, graph.launches[i].name]
@@ -673,12 +724,15 @@ def _cmd_depgraph(args) -> int:
             + ")",
         )
     )
-    if violations:
+    if failed:
         print()
-        for v in violations:
+        for v in violations + verify_violations:
             where = f" [{v.launch}]" if v.launch else ""
             print(f"violation {v.invariant}{where}: {v.message}")
-        print(f"{len(violations)} dependence violation(s)")
+        print(
+            f"{len(violations)} dependence violation(s), "
+            f"{len(verify_violations)} schedule violation(s)"
+        )
         return 1
     print("\ndependence/liveness invariants: clean")
     return 0
@@ -1149,8 +1203,12 @@ def build_parser() -> argparse.ArgumentParser:
             "dependence DAG from the kernels' buffer read/write sets, "
             "report the critical path and available launch parallelism, "
             "and check use-before-def / workspace-lifetime / write-order "
-            "invariants plus the serialized-latency lower bound.  Exit "
-            "codes: 0 = clean, 1 = dependence violations, 2 = usage error."
+            "invariants plus the serialized-latency lower bound.  With "
+            "--verify, the happens-before race detector checks that the "
+            "multi-stream schedule orders every dependence edge through "
+            "stream program order and explicit sync events.  Exit codes: "
+            "0 = clean, 1 = dependence/schedule violations, 2 = usage "
+            "error."
         ),
     )
     depgraph.add_argument("workload", help="e.g. SK-M-0.5")
@@ -1175,6 +1233,18 @@ def build_parser() -> argparse.ArgumentParser:
     depgraph.add_argument(
         "--gpu-streams", type=int, default=4,
         help="virtual streams available to --schedule (default 4)",
+    )
+    depgraph.add_argument(
+        "--verify", action="store_true",
+        help="run the happens-before race detector over the schedule "
+             "(built by --schedule/--gpu-streams, or loaded via "
+             "--schedule-json); races exit 1",
+    )
+    depgraph.add_argument(
+        "--schedule-json", default=None, metavar="FILE",
+        help="verify/inspect an externally supplied schedule document "
+             "(the `schedule` fragment of --schedule --json output) "
+             "instead of scheduling the trace",
     )
     depgraph.add_argument(
         "--passes", default=None, metavar="P1,P2,...",

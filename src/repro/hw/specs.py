@@ -51,6 +51,10 @@ class DeviceSpec:
             parts (Jetson) this is the full SoC memory pool.
         atomic_serialization: Multiplier applied to conflicting atomic DRAM
             writes (fetch-on-demand write-back contention).
+        sync_event_us: Cost in microseconds of one cross-stream
+            synchronization (an event record + stream wait pair).  Charged
+            by the multi-stream scheduler for every sync event it must
+            emit, so claimed overlap pays for its synchronization.
     """
 
     name: str
@@ -65,12 +69,17 @@ class DeviceSpec:
     int_giops: float
     dram_gib: float = 16.0
     atomic_serialization: float = 2.0
+    sync_event_us: float = 1.0
 
     def __post_init__(self) -> None:
         if self.sms <= 0 or self.cuda_core_tflops <= 0 or self.dram_bw_gbps <= 0:
             raise DeviceError(f"inconsistent device spec: {self}")
         if self.dram_gib <= 0:
             raise DeviceError(f"device {self.name!r} has no DRAM capacity")
+        if self.sync_event_us < 0:
+            raise DeviceError(
+                f"device {self.name!r} has negative sync_event_us"
+            )
 
     # ------------------------------------------------------------------ #
     # Throughput queries
@@ -145,6 +154,7 @@ A100 = DeviceSpec(
     kernel_launch_us=4.0,
     int_giops=9750.0,
     dram_gib=40.0,
+    sync_event_us=0.8,
 )
 
 RTX_3090 = DeviceSpec(
@@ -159,6 +169,7 @@ RTX_3090 = DeviceSpec(
     kernel_launch_us=4.0,
     int_giops=8900.0,
     dram_gib=24.0,
+    sync_event_us=0.8,
 )
 
 RTX_2080TI = DeviceSpec(
@@ -173,6 +184,7 @@ RTX_2080TI = DeviceSpec(
     kernel_launch_us=4.5,
     int_giops=6700.0,
     dram_gib=11.0,
+    sync_event_us=0.9,
 )
 
 GTX_1080TI = DeviceSpec(
@@ -187,6 +199,7 @@ GTX_1080TI = DeviceSpec(
     kernel_launch_us=5.0,
     int_giops=5650.0,
     dram_gib=11.0,
+    sync_event_us=1.0,
 )
 
 JETSON_ORIN = DeviceSpec(
@@ -201,6 +214,7 @@ JETSON_ORIN = DeviceSpec(
     kernel_launch_us=9.0,
     int_giops=2650.0,
     dram_gib=32.0,
+    sync_event_us=1.8,
 )
 
 _REGISTRY: Dict[str, DeviceSpec] = {}

@@ -215,6 +215,22 @@ class ExecutionContext:
     def latency_ms(self) -> float:
         return self.latency_us() / 1e3
 
+    def stream_schedule(self):
+        """Sync-aware stream schedule of the traced execution.
+
+        ``None`` when ``gpu_streams == 1`` (serialized: no events) or the
+        trace is empty; otherwise the best sync-charged schedule over
+        1..``gpu_streams`` streams, carrying the explicit sync events the
+        serving runtime reports per run.
+        """
+        if self.gpu_streams <= 1 or len(self.trace) == 0:
+            return None
+        from repro.opt.schedule import best_schedule
+
+        return best_schedule(
+            self.trace, self.device, self.precision, self.gpu_streams
+        )
+
     def breakdown_us(self) -> Dict[str, float]:
         return latency_breakdown(self.trace, self.device, self.precision)
 

@@ -16,18 +16,34 @@ is classic Graham list scheduling with a program-order priority list:
   waits for them.  A fully unannotated trace therefore schedules exactly
   serialized — the model never claims overlap it cannot prove.
 
+Cross-stream orderings are made *explicit*: for every dependence edge
+whose endpoints land on different streams (and for every barrier's
+cross-stream fences) the scheduler emits a candidate
+:class:`~repro.analyze.hb.SyncEvent` — the model of a
+``cudaEventRecord``/``cudaStreamWaitEvent`` pair.  A transitive
+reduction over the happens-before graph then drops every event already
+implied by stream program order plus the remaining events, and the
+survivors are charged ``DeviceSpec.sync_event_us`` each when the
+placement is re-timed.  Overlap that does not pay for its
+synchronization stops being claimed, and :func:`check_schedule
+<repro.analyze.hb.check_schedule>` can verify the emitted event set
+independently.
+
 Raw list scheduling is not monotone in K (Graham's anomalies: more
-streams can finish later), so :func:`scheduled_trace_us` reports the best
+streams can finish later), and with sync charging a fixed K can even
+exceed serialized — so :func:`scheduled_trace_us` reports the best
 makespan over 1..K streams.  That restores monotonicity and keeps the
 result inside ``[critical_path, serialized]``.
 """
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.analyze.depgraph import DependenceGraph
+from repro.analyze.hb import SyncEvent, redundant_sync_edges, stream_sequences
 from repro.gpusim.engine import estimate_launch_us
 from repro.gpusim.trace import KernelLaunch, KernelTrace
 from repro.hw.specs import DeviceSpec
@@ -47,13 +63,16 @@ class ScheduledLaunch:
 
 @dataclasses.dataclass(frozen=True)
 class StreamSchedule:
-    """A complete K-stream schedule of one trace."""
+    """A complete K-stream schedule of one trace, with its sync events."""
 
     streams: int
     makespan_us: float
     serialized_us: float
     critical_path_us: float
     assignments: Tuple[ScheduledLaunch, ...]
+    events: Tuple[SyncEvent, ...] = ()
+    redundant_events_removed: int = 0
+    sync_event_us: float = 0.0
 
     @property
     def used_streams(self) -> int:
@@ -66,10 +85,99 @@ class StreamSchedule:
             return 1.0
         return self.serialized_us / self.makespan_us
 
+    @property
+    def sync_us(self) -> float:
+        """Nominal synchronization overhead charged by this schedule."""
+        return len(self.events) * self.sync_event_us
+
 
 def _is_barrier(launch: KernelLaunch) -> bool:
     """Unannotated launches carry no hazard info: schedule conservatively."""
     return not launch.reads and not launch.writes
+
+
+def _place_streams(
+    launches: Sequence[KernelLaunch],
+    weights: Sequence[float],
+    preds: Sequence[Sequence[int]],
+    streams: int,
+) -> List[int]:
+    """Phase 1: greedy earliest-start stream assignment (sync cost free).
+
+    This is the original Graham placement; sync overhead is charged only
+    in the re-timing phase, so placement stays deterministic and K=1
+    stays degenerate-serialized.
+    """
+    free_at = [0.0] * streams
+    ends = [0.0] * len(launches)
+    horizon = 0.0
+    barrier_end = 0.0
+    stream_of: List[int] = []
+    for i, launch in enumerate(launches):
+        ready = barrier_end
+        for p in preds[i]:
+            ready = max(ready, ends[p])
+        if _is_barrier(launch):
+            ready = max(ready, horizon)
+            # A barrier cannot start before the whole horizon, so place
+            # it on the *busiest* stream: it starts at the same time but
+            # needs no sync against that stream's tail (and a fully
+            # unannotated trace stays on one stream with zero events).
+            stream = min(range(streams), key=lambda s: (-free_at[s], s))
+        else:
+            # Earliest-free stream; ties break to the lowest index so the
+            # schedule is deterministic (and K=1 degenerates to
+            # serialized).
+            stream = min(range(streams), key=lambda s: (free_at[s], s))
+        start = max(ready, free_at[stream])
+        end = start + weights[i]
+        free_at[stream] = end
+        ends[i] = end
+        horizon = max(horizon, end)
+        if _is_barrier(launch):
+            barrier_end = max(barrier_end, end)
+        stream_of.append(stream)
+    return stream_of
+
+
+def _candidate_sync_edges(
+    launches: Sequence[KernelLaunch],
+    graph: DependenceGraph,
+    stream_of: Sequence[int],
+) -> List[Tuple[int, int]]:
+    """Phase 2: one candidate event per cross-stream ordering requirement.
+
+    Dependence edges whose endpoints sit on different streams need an
+    explicit sync; barriers additionally fence every *other* stream, so
+    they sync against the last launch before and the first launch after
+    them on each one.
+    """
+    candidates: List[Tuple[int, int]] = []
+    seen: Set[Tuple[int, int]] = set()
+
+    def add(src: int, dst: int) -> None:
+        if (src, dst) not in seen:
+            seen.add((src, dst))
+            candidates.append((src, dst))
+
+    for edge in graph.edges:
+        if stream_of[edge.src] != stream_of[edge.dst]:
+            add(edge.src, edge.dst)
+    members: Dict[int, List[int]] = {}
+    for i, stream in enumerate(stream_of):
+        members.setdefault(stream, []).append(i)
+    for i, launch in enumerate(launches):
+        if not _is_barrier(launch):
+            continue
+        for stream, indices in sorted(members.items()):
+            if stream == stream_of[i]:
+                continue
+            pos = bisect.bisect_left(indices, i)
+            if pos > 0:
+                add(indices[pos - 1], i)
+            if pos < len(indices):
+                add(i, indices[pos])
+    return candidates
 
 
 def list_schedule(
@@ -81,9 +189,15 @@ def list_schedule(
 ) -> StreamSchedule:
     """Greedy program-order list schedule onto exactly ``streams`` streams.
 
+    Runs in four phases: greedy placement, sync-event emission for
+    every cross-stream ordering, transitive reduction of the event set,
+    and a final re-timing pass that charges ``device.sync_event_us``
+    per surviving event.
+
     Note: makespan is not guaranteed monotone in ``streams`` (Graham's
-    scheduling anomalies); use :func:`scheduled_trace_us` for a monotone
-    latency figure.
+    scheduling anomalies), and with nonzero sync cost a fixed K can
+    schedule *worse* than serialized; use :func:`scheduled_trace_us`
+    for a monotone latency figure.
     """
     if streams < 1:
         raise ValueError(f"streams must be >= 1, got {streams}")
@@ -98,27 +212,64 @@ def list_schedule(
     for edge in graph.edges:
         preds[edge.dst].append(edge.src)
 
-    free_at = [0.0] * streams  # per-stream earliest free time
+    stream_of = _place_streams(launches, weights, preds, streams)
+
+    # Phases 2+3: emit candidate events, then transitively reduce them.
+    # Program-order edges (consecutive launches per stream) are part of
+    # the HB graph but are fixed by the placement — only sync edges are
+    # removable.
+    candidates = _candidate_sync_edges(launches, graph, stream_of)
+    program_edges: List[Tuple[int, int]] = []
+    members: Dict[int, List[int]] = {}
+    for i, stream in enumerate(stream_of):
+        members.setdefault(stream, []).append(i)
+    for _, indices in sorted(members.items()):
+        program_edges.extend(zip(indices, indices[1:]))
+    removed = set(
+        redundant_sync_edges(len(launches), program_edges, candidates)
+    )
+    kept = sorted(
+        (
+            pair
+            for position, pair in enumerate(candidates)
+            if position not in removed
+        ),
+        key=lambda pair: (pair[1], pair[0]),
+    )
+    events = tuple(
+        SyncEvent(
+            event_id=event_id,
+            record_index=src,
+            record_stream=stream_of[src],
+            wait_index=dst,
+            wait_stream=stream_of[dst],
+        )
+        for event_id, (src, dst) in enumerate(kept)
+    )
+
+    # Phase 4: re-time the placement charging sync cost.  Program order
+    # plus the reduced event set closes over every dependence (the
+    # reduction is closure-preserving), so waiting on direct events and
+    # the stream's own tail is sufficient.  With no events (K=1, or a
+    # fully serial placement) this is the same left-to-right sum as the
+    # serialized estimate, bitwise.
+    waiters: Dict[int, List[int]] = {}
+    for src, dst in kept:
+        waiters.setdefault(dst, []).append(src)
+    sync_cost = device.sync_event_us
+    free_at = [0.0] * streams
     ends = [0.0] * len(launches)
-    horizon = 0.0  # max end time over everything issued so far
-    barrier_end = 0.0  # end of the latest barrier issued so far
+    horizon = 0.0
     assignments: List[ScheduledLaunch] = []
     for i, launch in enumerate(launches):
-        ready = barrier_end
-        for p in preds[i]:
-            ready = max(ready, ends[p])
-        if _is_barrier(launch):
-            ready = max(ready, horizon)
-        # Earliest-free stream; ties break to the lowest index so the
-        # schedule is deterministic (and K=1 degenerates to serialized).
-        stream = min(range(streams), key=lambda s: (free_at[s], s))
-        start = max(ready, free_at[stream])
+        stream = stream_of[i]
+        start = free_at[stream]
+        for record in waiters.get(i, ()):
+            start = max(start, ends[record] + sync_cost)
         end = start + weights[i]
         free_at[stream] = end
         ends[i] = end
         horizon = max(horizon, end)
-        if _is_barrier(launch):
-            barrier_end = max(barrier_end, end)
         assignments.append(
             ScheduledLaunch(
                 index=i,
@@ -141,6 +292,9 @@ def list_schedule(
         serialized_us=serialized,
         critical_path_us=span,
         assignments=tuple(assignments),
+        events=events,
+        redundant_events_removed=len(candidates) - len(kept),
+        sync_event_us=sync_cost,
     )
 
 
@@ -153,9 +307,12 @@ def best_schedule(
 ) -> StreamSchedule:
     """The best list schedule over 1..``streams`` streams.
 
-    Taking the min over stream counts sidesteps Graham's anomalies:
-    the result is monotone non-increasing in ``streams`` and always in
-    ``[critical_path, serialized]``.
+    Taking the min over stream counts sidesteps Graham's anomalies and
+    sync-cost blowups at large K: the result is monotone non-increasing
+    in ``streams`` and always in ``[critical_path, serialized]``.  Ties
+    go to the smallest stream count, so overlap whose sync cost eats
+    the whole win falls back to fewer streams (ultimately K=1 with zero
+    events).
     """
     launches = list(trace)
     if graph is None:
@@ -191,6 +348,10 @@ def schedule_report_json(
         "serialized_us": round(schedule.serialized_us, ndigits),
         "critical_path_us": round(schedule.critical_path_us, ndigits),
         "speedup": round(schedule.speedup, ndigits),
+        "sync_events": len(schedule.events),
+        "sync_event_us": round(schedule.sync_event_us, ndigits),
+        "sync_us": round(schedule.sync_us, ndigits),
+        "events_removed": schedule.redundant_events_removed,
         "assignments": [
             {
                 "index": a.index,
@@ -201,14 +362,122 @@ def schedule_report_json(
             }
             for a in schedule.assignments
         ],
+        "events": [
+            {
+                "id": e.event_id,
+                "record": e.record_index,
+                "record_stream": e.record_stream,
+                "wait": e.wait_index,
+                "wait_stream": e.wait_stream,
+            }
+            for e in schedule.events
+        ],
     }
+
+
+def schedule_from_json(doc: Mapping[str, object]) -> StreamSchedule:
+    """Rebuild a schedule from its :func:`schedule_report_json` fragment.
+
+    Lets the CLI verify externally supplied (possibly tampered)
+    schedules against a freshly traced workload.  Raises ``ValueError``
+    on documents missing required fields.
+    """
+    try:
+        assignments = tuple(
+            ScheduledLaunch(
+                index=int(a["index"]),
+                name=str(a["name"]),
+                stream=int(a["stream"]),
+                start_us=float(a["start_us"]),
+                end_us=float(a["end_us"]),
+            )
+            for a in doc["assignments"]  # type: ignore[index, union-attr]
+        )
+        events = tuple(
+            SyncEvent(
+                event_id=int(e["id"]),
+                record_index=int(e["record"]),
+                record_stream=int(e["record_stream"]),
+                wait_index=int(e["wait"]),
+                wait_stream=int(e["wait_stream"]),
+            )
+            for e in doc.get("events", [])  # type: ignore[union-attr]
+        )
+        return StreamSchedule(
+            streams=int(doc["streams"]),  # type: ignore[call-overload]
+            makespan_us=float(doc["scheduled_us"]),  # type: ignore[arg-type]
+            serialized_us=float(doc["serialized_us"]),  # type: ignore[arg-type]
+            critical_path_us=float(
+                doc["critical_path_us"]  # type: ignore[arg-type]
+            ),
+            assignments=assignments,
+            events=events,
+            redundant_events_removed=int(
+                doc.get("events_removed", 0)  # type: ignore[call-overload]
+            ),
+            sync_event_us=float(
+                doc.get("sync_event_us", 0.0)  # type: ignore[arg-type]
+            ),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed schedule document: {exc}") from exc
+
+
+#: Fill colors for stream lanes in the Gantt DOT export.
+_LANE_COLORS = (
+    "#dbeafe",
+    "#dcfce7",
+    "#fef9c3",
+    "#fde2e2",
+    "#ede9fe",
+    "#cffafe",
+    "#fce7f3",
+    "#e2e8f0",
+)
+
+
+def schedule_to_dot(schedule: StreamSchedule) -> str:
+    """Graphviz DOT Gantt view: one color lane per stream, launches in
+    issue order (bold program-order chain), sync events dashed red."""
+    by_index = {a.index: a for a in schedule.assignments}
+    lines = [
+        "digraph schedule {",
+        "  rankdir=LR;",
+        "  node [shape=box, style=filled];",
+    ]
+    for stream, sequence in sorted(stream_sequences(schedule).items()):
+        color = _LANE_COLORS[stream % len(_LANE_COLORS)]
+        lines.append(f"  subgraph cluster_stream{stream} {{")
+        lines.append(f'    label="stream {stream}";')
+        lines.append(f'    color="{color}";')
+        for i in sequence:
+            a = by_index[i]
+            name = a.name.replace('"', "'")
+            lines.append(
+                f'    n{i} [label="{i}: {name}\\n'
+                f'{a.start_us:.1f}-{a.end_us:.1f} us", '
+                f'fillcolor="{color}"];'
+            )
+        for src, dst in zip(sequence, sequence[1:]):
+            lines.append(f"    n{src} -> n{dst} [style=bold];")
+        lines.append("  }")
+    for e in schedule.events:
+        lines.append(
+            f"  n{e.record_index} -> n{e.wait_index} "
+            f'[style=dashed, color=red, label="ev{e.event_id}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
 
 
 __all__ = [
     "ScheduledLaunch",
     "StreamSchedule",
+    "SyncEvent",
     "list_schedule",
     "best_schedule",
     "scheduled_trace_us",
     "schedule_report_json",
+    "schedule_from_json",
+    "schedule_to_dot",
 ]

@@ -75,6 +75,9 @@ class ServingMetrics:
     #: policy; -1 when no batch ever was.  The warm-vs-cold amortization
     #: signal: a pre-warmed tuning DB pulls it toward the first arrival.
     time_to_first_tuned_ms: float = -1.0
+    #: Total cross-stream sync events charged across all executed batches
+    #: (0 when ``gpu_streams == 1``: serialized runs need no events).
+    sync_events: int = 0
     per_replica: List[Dict[str, float]] = dataclasses.field(
         default_factory=list
     )
@@ -119,6 +122,7 @@ class ServingMetrics:
             ["batches", str(self.batches)],
             ["mean batch size", f"{self.mean_batch_size:.2f}"],
             ["replica utilization", f"{100 * self.replica_utilization:.1f}%"],
+            ["gpu sync events", str(self.sync_events)],
         ]
         return format_table(["metric", "value"], rows, title="serving summary")
 
@@ -182,6 +186,7 @@ def compute_metrics(
     tuning_db_misses: int = 0,
     background_tunes: int = 0,
     time_to_first_tuned_ms: float = -1.0,
+    sync_events: int = 0,
     per_replica: Optional[List[Dict[str, float]]] = None,
 ) -> ServingMetrics:
     """Fold raw run records into a :class:`ServingMetrics`."""
@@ -246,5 +251,6 @@ def compute_metrics(
         tuning_db_misses=tuning_db_misses,
         background_tunes=background_tunes,
         time_to_first_tuned_ms=time_to_first_tuned_ms,
+        sync_events=sync_events,
         per_replica=replica_rows,
     )

@@ -605,6 +605,7 @@ class ServingRuntime:
         resident = model_weight_bytes(model, self.precision) + feature_bytes
         ladder_taken: Tuple[str, ...] = ()
         retry_us = 0.0
+        retry_sync_events = 0
         try:
             peak = enforce_memory_budget(
                 ctx.trace, replica.spec,
@@ -662,6 +663,9 @@ class ServingRuntime:
             for sample in samples:
                 model(sample, retry)
             retry_us = retry.latency_us()
+            retry_schedule = retry.stream_schedule()
+            if retry_schedule is not None:
+                retry_sync_events = len(retry_schedule.events)
             degraded = True
 
         stages = dict(ctx.breakdown_us())
@@ -677,7 +681,19 @@ class ServingRuntime:
             + preprocess_us
             + self.config.dispatch_overhead_us
         ) / 1e3 + extra_ms
-        return service_ms, policy_hit, degraded, kmap_hits, stages, ladder_taken
+        sync_events = retry_sync_events
+        schedule = ctx.stream_schedule()
+        if schedule is not None:
+            sync_events += len(schedule.events)
+        return (
+            service_ms,
+            policy_hit,
+            degraded,
+            kmap_hits,
+            stages,
+            ladder_taken,
+            sync_events,
+        )
 
     # ------------------------------------------------------------------ #
     def serve(self, requests: Sequence[InferenceRequest]) -> ServeResult:
@@ -731,6 +747,7 @@ class ServingRuntime:
         batch_counter = 0
         oom_events = 0
         ladder_steps = 0
+        sync_events_total = 0
 
         def push_event(at: float, kind: int, payload: object) -> None:
             nonlocal seq
@@ -772,13 +789,21 @@ class ServingRuntime:
         ) -> _Attempt:
             """Occupy ``replica`` with one copy of ``batch``."""
             nonlocal batch_counter, oom_events, ladder_steps
+            nonlocal sync_events_total
             batch_id = batch_counter
             batch_counter += 1
             forced_oom = injector.batch_ooms(batch_id)
             ooms_before = replica.ooms
-            service_ms, policy_hit, degraded, kmap_hits, stages, ladder = (
-                self._execute(batch, now, replica, forced_oom=forced_oom)
-            )
+            (
+                service_ms,
+                policy_hit,
+                degraded,
+                kmap_hits,
+                stages,
+                ladder,
+                batch_sync_events,
+            ) = self._execute(batch, now, replica, forced_oom=forced_oom)
+            sync_events_total += batch_sync_events
             if replica.ooms > ooms_before:
                 oom_events += 1
                 ladder_steps += len(ladder)
@@ -987,6 +1012,7 @@ class ServingRuntime:
                 self.first_tuned_ms if self.first_tuned_ms is not None
                 else -1.0
             ),
+            sync_events=sync_events_total,
             per_replica=per_replica,
         )
         return ServeResult(config=config, outcomes=ordered, metrics=metrics)

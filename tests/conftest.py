@@ -9,6 +9,11 @@ or under-accounted workspace buffer, an unordered conflicting write, or a
 serialized latency below its own dependence critical path fails the test
 that produced it, no matter which subsystem (models, tuner, baselines,
 serving) emitted it.
+
+Multi-stream estimates are additionally verified by the happens-before
+race detector (:func:`repro.analyze.hb.check_schedule`): the schedule
+actually used at the requested stream count must order every dependence
+edge via stream program order plus explicit sync events.
 """
 
 from __future__ import annotations
@@ -18,8 +23,10 @@ import importlib
 import pytest
 
 from repro.analyze.depgraph import check_depgraph
+from repro.analyze.hb import check_schedule
 from repro.analyze.tracecheck import check_trace
 from repro.gpusim import engine as _engine
+from repro.opt.schedule import best_schedule
 
 #: Modules that import ``estimate_trace_us`` by name; each bound copy gets
 #: wrapped so no trace escapes the sanitizer.
@@ -41,6 +48,9 @@ _real_estimate_trace_us = _engine.estimate_trace_us
 def _checked_estimate_trace_us(trace, device, precision, streams=1):
     violations = check_trace(trace)
     violations += check_depgraph(trace, device, precision)
+    if streams > 1 and len(list(trace)):
+        schedule = best_schedule(trace, device, precision, streams)
+        violations += check_schedule(trace, schedule)
     if violations:
         details = "\n".join(f"  - {v}" for v in violations)
         raise AssertionError(

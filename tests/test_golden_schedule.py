@@ -56,3 +56,19 @@ class TestGoldenSchedule:
         assert schedule["scheduled_us"] < schedule["serialized_us"]
         assert schedule["speedup"] > 1.0
         assert len(schedule["assignments"]) == doc["launches"]
+
+    def test_golden_schedule_sync_events(self):
+        # Overlap must name its synchronization: events are present,
+        # consistent with the counter, charged at a nonzero per-event
+        # cost, and the inference pass actually removed redundant ones.
+        doc = json.loads(GOLDEN.read_text())
+        schedule = doc["schedule"]
+        assert len(schedule["events"]) == schedule["sync_events"] > 0
+        assert schedule["sync_event_us"] > 0.0
+        assert schedule["sync_us"] > 0.0
+        assert schedule["events_removed"] > 0
+        streams = {a["index"]: a["stream"] for a in schedule["assignments"]}
+        for event in schedule["events"]:
+            assert streams[event["record"]] == event["record_stream"]
+            assert streams[event["wait"]] == event["wait_stream"]
+            assert event["record_stream"] != event["wait_stream"]
