@@ -21,7 +21,10 @@ they did not regress the simulator itself:
   (:meth:`repro.autotune.SurrogateModel.predict`), which must stay orders
   of magnitude below ``trace_us_per_call`` for online tuning to pay off;
 * ``serve_rps_wallclock`` — end-to-end serve-bench requests processed per
-  wall-clock second on a fixed seed.
+  wall-clock second on a fixed seed;
+* ``serve_traffic_rps`` — the same figure through the overload stack
+  (flash-crowd traffic, two tenant classes, admission, breakers and the
+  SLO autoscaler all enabled), gating the traffic-mode serving path.
 
 Simulated results are seed-deterministic; the wall-clock numbers are
 machine-dependent, so regression checks should compare ratios on the same
@@ -155,6 +158,63 @@ def bench_serving():
     }
 
 
+def bench_traffic():
+    """Traffic-mode serving throughput: the overload stack end to end.
+
+    A seeded flash crowd over two priority classes with admission,
+    breakers and the autoscaler enabled — the wall-clock requests/s
+    (``serve_traffic_rps``) gates the overload path the same way
+    ``serve_rps_wallclock`` gates the plain path.  The simulated outputs
+    (SLO attainment, scale events, cost) are seed-deterministic.
+    """
+    from repro.serve import (
+        AutoscalePolicy,
+        FaultPlan,
+        ServeConfig,
+        ServingRuntime,
+        generate_traffic_requests,
+        parse_tenants,
+        parse_traffic,
+    )
+
+    trace = parse_traffic("flash:base=30,peak=300", seed=SEED)
+    tenants = parse_tenants(
+        "gold:prio=0,share=3,mix=SK-M-0.5,deadline=2000;"
+        "bronze:prio=2,share=1,mix=SK-M-0.5,deadline=2000"
+    )
+    requests = generate_traffic_requests(
+        trace, count=400, tenants=tenants, seed=SEED
+    )
+    runtime = ServingRuntime(ServeConfig(
+        device="a100",
+        scene_scale=0.1,
+        replicas=1,
+        tenants=tenants,
+        slo_ms=300.0,
+        breaker_failures=4,
+        max_retries=3,
+        faults=FaultPlan(fail_rate=0.05, seed=SEED),
+        autoscale=AutoscalePolicy(
+            slo_ms=300.0, min_replicas=1, max_replicas=4,
+            interval_ms=100.0, window_ms=1000.0, cooldown_ms=250.0,
+        ),
+    ))
+    start = time.perf_counter()
+    metrics = runtime.serve(requests).metrics
+    elapsed = time.perf_counter() - start
+    return {
+        "requests": metrics.requests,
+        "completed": metrics.completed,
+        "failed": metrics.failed,
+        "scale_ups": metrics.scale_ups,
+        "scale_downs": metrics.scale_downs,
+        "slo_attainment_top": round(metrics.slo_attainment_top, 4),
+        "cost_per_million": round(metrics.cost_per_million, 3),
+        "serve_traffic_wallclock_s": round(elapsed, 3),
+        "serve_traffic_rps": round(metrics.requests / elapsed, 1),
+    }
+
+
 def main() -> int:
     payload = {
         "seed": SEED,
@@ -162,6 +222,7 @@ def main() -> int:
         "machine": platform.machine(),
         "engine": bench_engine(),
         "serving": bench_serving(),
+        "traffic": bench_traffic(),
     }
     OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(json.dumps(payload, indent=2, sort_keys=True))

@@ -6,9 +6,12 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_sim_throughput.py
     python benchmarks/check_bench_regression.py BASELINE.json CANDIDATE.json
 
-Every gated field is a mean microseconds-per-call figure; the candidate
-may exceed the baseline by at most ``--max-regression`` (default 0.20,
-i.e. 20%).  Getting *faster* never fails.  Wall-clock numbers are
+Gated fields are mean microseconds-per-call figures (lower is better)
+plus wall-clock request rates (higher is better); the candidate may be
+at most ``--max-regression`` (default 0.20, i.e. 20%) slower than the
+baseline on each.  Getting *faster* never fails.  A gated column missing
+from either file fails with a message naming the file and the column —
+a new benchmark column cannot silently vanish.  Wall-clock numbers are
 machine-dependent: only compare runs from the same host class — after a
 runner or interpreter change, regenerate the committed baseline instead
 of chasing phantom regressions.
@@ -21,7 +24,7 @@ import json
 import sys
 from typing import Dict, List, Tuple
 
-#: (section, field) pairs gated on microseconds-per-call.
+#: (section, field) pairs gated on microseconds-per-call (lower is better).
 GATED_FIELDS: Tuple[Tuple[str, str], ...] = (
     ("engine", "estimate_us_per_call"),
     ("engine", "scheduled_estimate_us_per_call"),
@@ -30,29 +33,58 @@ GATED_FIELDS: Tuple[Tuple[str, str], ...] = (
     ("engine", "surrogate_us_per_call"),
 )
 
+#: (section, field) pairs gated on requests-per-second (higher is better).
+GATED_RATES: Tuple[Tuple[str, str], ...] = (
+    ("traffic", "serve_traffic_rps"),
+)
+
+
+def _lookup(payload: Dict, section: str, field: str, role: str) -> "float | str":
+    """Value of ``section.field`` in ``payload``, or a failure message
+    naming exactly which file is missing which column."""
+    table = payload.get(section)
+    if not isinstance(table, dict):
+        return (
+            f"{section}.{field}: {role} json has no {section!r} section "
+            f"(has {sorted(payload)}); regenerate it with "
+            f"bench_sim_throughput.py"
+        )
+    if field not in table:
+        return (
+            f"{section}.{field}: column missing from the {role} json; "
+            f"the benchmark must keep writing every gated column "
+            f"(has {sorted(table)})"
+        )
+    return float(table[field])
+
 
 def compare(
     baseline: Dict, candidate: Dict, max_regression: float
 ) -> List[str]:
     """Return a list of human-readable failures (empty = gate passes)."""
     failures: List[str] = []
-    for section, field in GATED_FIELDS:
-        try:
-            base = float(baseline[section][field])
-            cand = float(candidate[section][field])
-        except KeyError as missing:
-            failures.append(
-                f"{section}.{field}: missing key {missing} "
-                f"(baseline schema drift? regenerate the baseline)"
-            )
+    gated = [(s, f, False) for s, f in GATED_FIELDS]
+    gated += [(s, f, True) for s, f in GATED_RATES]
+    for section, field, higher_is_better in gated:
+        base = _lookup(baseline, section, field, "baseline")
+        cand = _lookup(candidate, section, field, "candidate")
+        bad = [v for v in (base, cand) if isinstance(v, str)]
+        if bad:
+            failures.extend(bad)
             continue
+        assert isinstance(base, float) and isinstance(cand, float)
         if base <= 0.0:
             failures.append(f"{section}.{field}: non-positive baseline {base}")
             continue
-        ratio = cand / base
+        if higher_is_better:
+            ratio = base / cand if cand > 0 else float("inf")
+            unit = "req/s"
+        else:
+            ratio = cand / base
+            unit = "us/call"
         if ratio > 1.0 + max_regression:
             failures.append(
-                f"{section}.{field}: {base:.3f} -> {cand:.3f} us/call "
+                f"{section}.{field}: {base:.3f} -> {cand:.3f} {unit} "
                 f"({100 * (ratio - 1):.1f}% slower, limit "
                 f"{100 * max_regression:.0f}%)"
             )
@@ -73,7 +105,7 @@ def main(argv: List[str] | None = None) -> int:
     with open(args.candidate) as fh:
         candidate = json.load(fh)
     failures = compare(baseline, candidate, args.max_regression)
-    for section, field in GATED_FIELDS:
+    for section, field in GATED_FIELDS + GATED_RATES:
         base = baseline.get(section, {}).get(field)
         cand = candidate.get(section, {}).get(field)
         print(f"{section}.{field}: baseline {base} candidate {cand}")

@@ -431,12 +431,16 @@ def _cmd_autotune_merge(args) -> int:
 def _cmd_serve_bench(args) -> int:
     from repro.models import get_workload
     from repro.serve import (
+        AutoscalePolicy,
         BurstyArrivals,
         FaultPlan,
         PoissonArrivals,
         ServeConfig,
         ServingRuntime,
         generate_requests,
+        generate_traffic_requests,
+        parse_tenants,
+        parse_traffic,
     )
 
     _validate_target(args.device, args.precision)
@@ -450,6 +454,14 @@ def _cmd_serve_bench(args) -> int:
 
         faults = dataclasses.replace(
             faults or FaultPlan(seed=fault_seed), oom_rate=args.oom_rate
+        )
+    tenants = parse_tenants(args.tenants) if args.tenants else ()
+    autoscale = None
+    if args.autoscale:
+        autoscale = AutoscalePolicy(
+            slo_ms=args.slo_ms or AutoscalePolicy.slo_ms,
+            min_replicas=args.replicas,
+            max_replicas=max(args.max_replicas, args.replicas),
         )
     config = ServeConfig(
         device=args.device,
@@ -466,11 +478,19 @@ def _cmd_serve_bench(args) -> int:
         faults=faults,
         max_retries=args.retries,
         retry_backoff_ms=args.retry_backoff_ms,
+        retry_jitter=not args.no_retry_jitter,
+        retry_budget=args.retry_budget,
         timeout_ms=args.timeout_ms,
         hedge_ms=args.hedge_ms,
         tuning_db=args.tuning_db,
         mem_headroom=args.mem_headroom,
         gpu_streams=args.gpu_streams,
+        tenants=tenants,
+        priority_shedding=not args.no_priority_shedding,
+        breaker_failures=args.breaker_failures,
+        breaker_cooldown_ms=args.breaker_cooldown_ms,
+        autoscale=autoscale,
+        slo_ms=args.slo_ms,
     )
     runtime = ServingRuntime(config)
     if args.tuning_db:
@@ -485,29 +505,47 @@ def _cmd_serve_bench(args) -> int:
         runtime.warm_policy(workload.id)
         print(f"policy cache warmed by tuning {workload.id} "
               f"on {config.tune_scenes} scene(s)")
-    if args.arrivals == "bursty":
-        arrivals = BurstyArrivals(
-            base_rate_per_s=args.rate,
-            burst_rate_per_s=args.burst_rate or 4 * args.rate,
-            seed=args.seed,
+    if args.traffic:
+        trace = parse_traffic(args.traffic, seed=args.seed)
+        requests = generate_traffic_requests(
+            trace,
+            count=args.requests,
+            tenants=tenants,
+            default_workload=workload.id,
+            deadline_ms=args.deadline_ms,
+            scene_seed_base=args.seed,
+        )
+        arrival_desc = (
+            f"traffic [{args.traffic}] "
+            f"(mean {trace.mean_rate_per_s():g}/s)"
         )
     else:
-        arrivals = PoissonArrivals(rate_per_s=args.rate, seed=args.seed)
-    requests = generate_requests(
-        workload.id,
-        arrivals,
-        count=args.requests,
-        num_streams=args.streams,
-        deadline_ms=args.deadline_ms,
-        scene_seed_base=args.seed,
-    )
+        if args.arrivals == "bursty":
+            arrivals = BurstyArrivals(
+                base_rate_per_s=args.rate,
+                burst_rate_per_s=args.burst_rate or 4 * args.rate,
+                seed=args.seed,
+            )
+        else:
+            arrivals = PoissonArrivals(rate_per_s=args.rate, seed=args.seed)
+        requests = generate_requests(
+            workload.id,
+            arrivals,
+            count=args.requests,
+            num_streams=args.streams,
+            deadline_ms=args.deadline_ms,
+            scene_seed_base=args.seed,
+        )
+        arrival_desc = f"arrival rate {args.rate:g}/s ({args.arrivals})"
     result = runtime.serve(requests)
     print(
         f"served {result.metrics.completed}/{result.metrics.requests} "
         f"requests of {workload.id} on {args.replicas} x {args.device} "
-        f"({args.precision}), arrival rate {args.rate:g}/s ({args.arrivals}), "
+        f"({args.precision}), {arrival_desc}, "
         f"{args.balancer} balancer"
         + (f", faults [{args.faults}]" if args.faults else "")
+        + (f", {len(tenants)} tenants" if tenants else "")
+        + (", autoscale on" if autoscale else "")
     )
     print()
     print(result.describe())
@@ -1074,6 +1112,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--oom-rate", type=float, default=0.0,
         help="per-batch simulated-OOM probability; OOMed batches recover "
              "via the degradation ladder (shorthand for faults key oom=)",
+    )
+    serve.add_argument(
+        "--traffic", default=None, metavar="SPEC",
+        help="trace-driven arrival program (overrides --arrivals/--rate): "
+             "'steady', 'flash', 'diurnal', or preset:key=value,... "
+             "e.g. 'flash:peak=400,ramp=200'",
+    )
+    serve.add_argument(
+        "--tenants", default=None, metavar="SPEC",
+        help="tenant roster, e.g. "
+             "'gold:prio=0,share=3;bronze:prio=2,rps=50' "
+             "(keys: prio, share, rps, burst, retry_budget, deadline, "
+             "streams, mix)",
+    )
+    serve.add_argument(
+        "--autoscale", action="store_true",
+        help="enable the SLO-driven autoscaler (grows the fleet from "
+             "--replicas up to --max-replicas, drains it when idle)",
+    )
+    serve.add_argument(
+        "--max-replicas", type=int, default=8,
+        help="autoscaler fleet ceiling (with --autoscale)",
+    )
+    serve.add_argument(
+        "--slo-ms", type=float, default=0.0,
+        help="target p99 latency: drives SLO attainment reporting and the "
+             "autoscaler (0 = use per-request deadlines for attainment)",
+    )
+    serve.add_argument(
+        "--retry-budget", type=float, default=-1.0,
+        help="per-tenant retry budget as retries per success (e.g. 0.1); "
+             "-1 = unlimited unless the tenant spec sets one",
+    )
+    serve.add_argument(
+        "--breaker-failures", type=int, default=0,
+        help="consecutive batch failures that open a replica's circuit "
+             "breaker (0 = breakers off)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown-ms", type=float, default=250.0,
+        help="open-state cooldown before a breaker probes the replica",
+    )
+    serve.add_argument(
+        "--no-retry-jitter", action="store_true",
+        help="disable seeded jitter on the exponential retry backoff",
+    )
+    serve.add_argument(
+        "--no-priority-shedding", action="store_true",
+        help="shed newest-first under queue pressure instead of "
+             "lowest-priority-first",
     )
     serve.set_defaults(func=_cmd_serve_bench)
 

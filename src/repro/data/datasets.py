@@ -121,6 +121,13 @@ def make_sample(
         )
     points = np.concatenate(all_points, axis=0)
     feats = np.concatenate(all_feats, axis=0)
+    if len(points) == 0:
+        # A physical sweep always returns at least the ego's own ground
+        # patch.  At tiny ``scale`` a sparse scene can miss every ray;
+        # an empty tensor is degenerate everywhere downstream (zero-size
+        # kernel maps, empty traces), so keep one origin voxel.
+        points = np.zeros((1, 3))
+        feats = np.zeros((1, dataset.in_channels))
     coords, reduced = sparse_quantize(
         points, dataset.voxel_size, features=feats,
         batch_index=batch_index, reduce="mean",

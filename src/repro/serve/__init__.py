@@ -10,11 +10,25 @@ cache-affinity).  Models are statically linted at admission
 :class:`~repro.errors.AdmissionError` before any replica accepts traffic
 for that model.  A deterministic fault model can stall replicas, fail
 batches transiently and skew replica speed; requests retry with
-exponential backoff, long batches can hedge onto a second replica, and
-queued requests can time out.  Warm caches carry tuned policies
-(cluster-global) and kernel-map state (per replica) across requests.
-End-to-end latency comes from :mod:`repro.gpusim` on a virtual clock, so
-every run — faulty or not — is byte-for-byte deterministic.
+exponential backoff (seeded jitter), long batches can hedge onto a second
+replica, and queued requests can time out.  Warm caches carry tuned
+policies (cluster-global) and kernel-map state (per replica) across
+requests.  End-to-end latency comes from :mod:`repro.gpusim` on a virtual
+clock, so every run — faulty or not — is byte-for-byte deterministic.
+
+Overload robustness (multi-tenant serving) layers on top:
+
+* **traffic programs** (:mod:`repro.serve.traffic`) — diurnal curves and
+  flash crowds as composable rate segments, sampled into deterministic
+  arrival schedules;
+* **per-tenant admission** (:mod:`repro.serve.admission`) — priority
+  classes with lowest-priority-first shedding, token-bucket rate quotas
+  and retry budgets;
+* **circuit breakers** (:mod:`repro.serve.breaker`) — replicas that keep
+  failing batches are taken out of balancer rotation and probed back in;
+* **SLO-driven autoscaling** (:mod:`repro.serve.autoscale`) — top-class
+  p99 and error budget over a sliding window grow the fleet (cold caches,
+  real warmup cost) and drain it when utilization falls.
 
 Entry points: ``python -m repro serve-bench`` (CLI) or::
 
@@ -35,7 +49,16 @@ Entry points: ``python -m repro serve-bench`` (CLI) or::
     print(result.describe())
 """
 
+from repro.serve.admission import (
+    DEFAULT_TENANT,
+    PriorityRequestQueue,
+    RetryBudget,
+    TenantSpec,
+    TokenBucket,
+    parse_tenants,
+)
 from repro.serve.arrivals import BurstyArrivals, PoissonArrivals, generate_requests
+from repro.serve.autoscale import AutoscalePolicy, Autoscaler, ScaleEvent
 from repro.serve.balancer import (
     BALANCERS,
     CacheAffinityBalancer,
@@ -46,6 +69,7 @@ from repro.serve.balancer import (
     get_balancer,
 )
 from repro.serve.batcher import DynamicBatcher, RequestQueue
+from repro.serve.breaker import BreakerState, CircuitBreaker
 from repro.serve.cache import KmapCache, KmapEntry, PolicyCache
 from repro.serve.faults import NO_FAULTS, FaultInjector, FaultPlan
 from repro.serve.metrics import ServingMetrics, compute_metrics, percentile_ms
@@ -57,11 +81,27 @@ from repro.serve.runtime import (
     ServeResult,
     ServingRuntime,
 )
+from repro.serve.traffic import (
+    TRAFFIC_PRESETS,
+    TrafficSegment,
+    TrafficTrace,
+    generate_traffic_requests,
+    parse_traffic,
+)
 
 __all__ = [
+    "DEFAULT_TENANT",
+    "PriorityRequestQueue",
+    "RetryBudget",
+    "TenantSpec",
+    "TokenBucket",
+    "parse_tenants",
     "BurstyArrivals",
     "PoissonArrivals",
     "generate_requests",
+    "AutoscalePolicy",
+    "Autoscaler",
+    "ScaleEvent",
     "BALANCERS",
     "CacheAffinityBalancer",
     "JoinShortestQueueBalancer",
@@ -71,6 +111,8 @@ __all__ = [
     "get_balancer",
     "DynamicBatcher",
     "RequestQueue",
+    "BreakerState",
+    "CircuitBreaker",
     "KmapCache",
     "KmapEntry",
     "PolicyCache",
@@ -88,4 +130,9 @@ __all__ = [
     "ServeConfig",
     "ServeResult",
     "ServingRuntime",
+    "TRAFFIC_PRESETS",
+    "TrafficSegment",
+    "TrafficTrace",
+    "generate_traffic_requests",
+    "parse_traffic",
 ]

@@ -11,6 +11,11 @@ Two processes cover the interesting serving regimes:
 
 Both draw from a seeded :class:`numpy.random.Generator`, so a given
 configuration always produces the identical request schedule.
+
+For richer load shapes — diurnal curves, flash crowds with ramp/peak/
+decay phases, multi-tenant rosters with per-tenant workload mixes — use
+the trace-driven programs in :mod:`repro.serve.traffic`, which generalise
+these two processes (``serve-bench --traffic`` on the CLI).
 """
 
 from __future__ import annotations

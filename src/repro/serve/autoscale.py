@@ -1,0 +1,204 @@
+"""SLO-driven autoscaling for the serving cluster.
+
+The control loop the ROADMAP asks for: watch per-tenant tail latency and
+an error budget over a sliding virtual-time window, add replicas when the
+highest-priority tenants are missing their SLO, drain replicas when the
+fleet is over-provisioned.  Everything runs on the virtual clock and is a
+pure function of the observed outcome stream, so seeded runs stay
+byte-identical.
+
+Design notes:
+
+* **Signals.**  Scale-up triggers on either signal: windowed p99 latency
+  of the *top priority class* above ``slo_ms``, or the windowed SLO-miss
+  fraction above the error budget.  Queue pressure (standing queue deeper
+  than one full batch per replica) is a third, leading signal — it fires
+  before latencies have finished degrading.
+* **Warm-up is real.**  A new replica joins with a cold kernel-map cache
+  and is unavailable for ``warmup_ms`` (model load, CUDA context, first
+  kmap/tuning-cache fills are charged by the runtime on top, because the
+  cold cache itself makes early batches slower).
+* **Scale-down is conservative.**  Only when the window shows p99 well
+  under the SLO *and* fleet utilization below ``scale_down_util`` does
+  the scaler drain one replica (never below ``min_replicas``), and the
+  runtime removes it only once its in-flight work resolves.
+* **Cooldown.**  One scaling action per ``cooldown_ms`` prevents
+  oscillation on the sawtooth a flash crowd produces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.serve.metrics import percentile_ms
+
+
+@dataclasses.dataclass(frozen=True)
+class AutoscalePolicy:
+    """Configuration of the SLO control loop.
+
+    Attributes:
+        slo_ms: Target p99 end-to-end latency for the top priority class.
+        window_ms: Sliding observation window on the virtual clock.
+        interval_ms: Control-loop evaluation period.
+        min_replicas / max_replicas: Fleet bounds (min is the provisioned
+            floor; max caps flash-crowd spend).
+        error_budget: Tolerated windowed SLO-miss fraction before a
+            scale-up (0.05 = 5% of requests may miss).
+        scale_down_util: Fleet utilization below which an over-SLO-healthy
+            window drains one replica.
+        warmup_ms: Simulated unavailability of a freshly added replica
+            (model load + context creation); its caches start cold on top.
+        cooldown_ms: Minimum virtual time between scaling actions.
+    """
+
+    slo_ms: float = 200.0
+    window_ms: float = 2000.0
+    interval_ms: float = 250.0
+    min_replicas: int = 1
+    max_replicas: int = 8
+    error_budget: float = 0.05
+    scale_down_util: float = 0.35
+    warmup_ms: float = 300.0
+    cooldown_ms: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.slo_ms <= 0:
+            raise ConfigError(f"slo_ms must be positive, got {self.slo_ms}")
+        if self.window_ms <= 0 or self.interval_ms <= 0:
+            raise ConfigError("window_ms / interval_ms must be positive")
+        if self.min_replicas < 1:
+            raise ConfigError(
+                f"min_replicas must be >= 1, got {self.min_replicas}"
+            )
+        if self.max_replicas < self.min_replicas:
+            raise ConfigError(
+                f"max_replicas ({self.max_replicas}) must be >= "
+                f"min_replicas ({self.min_replicas})"
+            )
+        if not 0.0 <= self.error_budget < 1.0:
+            raise ConfigError(
+                f"error_budget must be in [0, 1), got {self.error_budget}"
+            )
+        if not 0.0 <= self.scale_down_util <= 1.0:
+            raise ConfigError(
+                f"scale_down_util must be in [0, 1], got {self.scale_down_util}"
+            )
+        if self.warmup_ms < 0 or self.cooldown_ms < 0:
+            raise ConfigError("warmup_ms / cooldown_ms must be >= 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class ScaleEvent:
+    """One scaling action (for the metrics report)."""
+
+    at_ms: float
+    action: str  # "up" | "down"
+    replicas: int  # fleet size after the action
+    p99_ms: float
+    miss_fraction: float
+
+
+@dataclasses.dataclass
+class _Observation:
+    finish_ms: float
+    latency_ms: float
+    priority: int
+    slo_missed: bool
+
+
+class Autoscaler:
+    """The control loop: observe outcomes, decide scale actions."""
+
+    def __init__(self, policy: AutoscalePolicy):
+        self.policy = policy
+        self._window: List[_Observation] = []
+        self._last_action_ms = -1e18
+        self.events: List[ScaleEvent] = []
+
+    # ------------------------------------------------------------------ #
+    def observe(
+        self,
+        finish_ms: float,
+        latency_ms: float,
+        priority: int,
+        slo_missed: bool,
+    ) -> None:
+        """Record one resolved request (called by the runtime)."""
+        self._window.append(
+            _Observation(finish_ms, latency_ms, priority, slo_missed)
+        )
+
+    def _prune(self, now_ms: float) -> None:
+        horizon = now_ms - self.policy.window_ms
+        if self._window and self._window[0].finish_ms < horizon:
+            self._window = [
+                o for o in self._window if o.finish_ms >= horizon
+            ]
+
+    def window_stats(self, now_ms: float) -> Tuple[float, float]:
+        """(p99 latency, SLO-miss fraction) of the top class in window."""
+        self._prune(now_ms)
+        if not self._window:
+            return 0.0, 0.0
+        top = min(o.priority for o in self._window)
+        top_obs = [o for o in self._window if o.priority == top]
+        p99 = percentile_ms([o.latency_ms for o in top_obs], 99)
+        miss = sum(1 for o in top_obs if o.slo_missed) / len(top_obs)
+        return p99, miss
+
+    # ------------------------------------------------------------------ #
+    def decide(
+        self,
+        now_ms: float,
+        replicas: int,
+        queue_depth: int,
+        utilization: float,
+        batch_capacity: int = 8,
+    ) -> Optional[str]:
+        """One control-loop tick: returns "up", "down" or None.
+
+        Args:
+            replicas: current fleet size (excluding draining replicas).
+            queue_depth: standing queue length at ``now_ms``.
+            utilization: recent fleet utilization in [0, 1].
+            batch_capacity: requests one dispatch absorbs (queue-pressure
+                normalization).
+        """
+        policy = self.policy
+        if now_ms - self._last_action_ms < policy.cooldown_ms:
+            return None
+        p99, miss = self.window_stats(now_ms)
+        pressured = queue_depth > replicas * batch_capacity
+        if (
+            p99 > policy.slo_ms or miss > policy.error_budget or pressured
+        ) and replicas < policy.max_replicas:
+            self._last_action_ms = now_ms
+            self.events.append(
+                ScaleEvent(now_ms, "up", replicas + 1, p99, miss)
+            )
+            return "up"
+        if (
+            replicas > policy.min_replicas
+            and not pressured
+            and queue_depth == 0
+            and p99 < 0.5 * policy.slo_ms
+            and miss <= policy.error_budget
+            and utilization < policy.scale_down_util
+        ):
+            self._last_action_ms = now_ms
+            self.events.append(
+                ScaleEvent(now_ms, "down", replicas - 1, p99, miss)
+            )
+            return "down"
+        return None
+
+    @property
+    def scale_ups(self) -> int:
+        return sum(1 for e in self.events if e.action == "up")
+
+    @property
+    def scale_downs(self) -> int:
+        return sum(1 for e in self.events if e.action == "down")

@@ -22,9 +22,10 @@ classic policies:
   maps and small caches thrash.
 
 Balancers see only sanctioned candidates — the runtime filters out stalled
-/ draining replicas and replicas at their in-flight bound — and must pick
-one of them.  All decisions are pure functions of replica state, so a
-seeded run is byte-identical regardless of the policy.
+/ draining replicas, replicas whose circuit breaker is open
+(:mod:`repro.serve.breaker`) and replicas at their in-flight bound — and
+must pick one of them.  All decisions are pure functions of replica state,
+so a seeded run is byte-identical regardless of the policy.
 """
 
 from __future__ import annotations

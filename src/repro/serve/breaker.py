@@ -1,0 +1,108 @@
+"""Per-replica circuit breakers for the serving cluster.
+
+A replica that fails batches back-to-back (driver wedge, flaky ECC, a
+stall window the fault model opened) should stop receiving traffic
+*before* every batch routed to it burns a service attempt and a retry.
+The breaker is the standard three-state machine, driven entirely by the
+virtual clock:
+
+* **CLOSED** — healthy; failures increment a consecutive counter,
+  successes reset it.  ``failure_threshold`` consecutive failures trip
+  the breaker;
+* **OPEN** — the balancer's candidate filter skips the replica for
+  ``cooldown_ms``;
+* **HALF_OPEN** — after the cooldown one *probe* batch is allowed
+  through.  Success closes the breaker (counter reset), failure re-opens
+  it for another cooldown.
+
+State transitions are recorded (open / close / probe counts) so the
+metrics report can show the full open→probe→close cycle a fault-injection
+run exercised.  Everything is deterministic: transitions happen at batch
+*resolution* times, which are themselves pure functions of the seed.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker for one replica."""
+
+    def __init__(self, failure_threshold: int, cooldown_ms: float):
+        if failure_threshold < 1:
+            raise ConfigError(
+                f"breaker failure threshold must be >= 1, "
+                f"got {failure_threshold}"
+            )
+        if cooldown_ms <= 0:
+            raise ConfigError(
+                f"breaker cooldown must be positive, got {cooldown_ms}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown_ms = cooldown_ms
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at_ms = 0.0
+        self._probe_inflight = False
+        self.opens = 0
+        self.closes = 0
+        self.probes = 0
+
+    # ------------------------------------------------------------------ #
+    def allows(self, now_ms: float) -> bool:
+        """May the balancer hand this replica a batch at ``now_ms``?
+
+        Advances OPEN -> HALF_OPEN when the cooldown has elapsed.  In
+        HALF_OPEN exactly one probe may be in flight at a time.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if now_ms - self.opened_at_ms < self.cooldown_ms:
+                return False
+            self.state = BreakerState.HALF_OPEN
+            self._probe_inflight = False
+        return not self._probe_inflight
+
+    def next_probe_at_ms(self) -> Optional[float]:
+        """When an OPEN breaker will admit its half-open probe."""
+        if self.state is BreakerState.OPEN:
+            return self.opened_at_ms + self.cooldown_ms
+        return None
+
+    def on_dispatch(self) -> None:
+        """A batch was handed to the replica (marks half-open probes)."""
+        if self.state is BreakerState.HALF_OPEN:
+            self._probe_inflight = True
+            self.probes += 1
+
+    # ------------------------------------------------------------------ #
+    def record_success(self, now_ms: float) -> None:
+        """A batch on this replica resolved successfully at ``now_ms``."""
+        self.consecutive_failures = 0
+        self._probe_inflight = False
+        if self.state is not BreakerState.CLOSED:
+            self.state = BreakerState.CLOSED
+            self.closes += 1
+
+    def record_failure(self, now_ms: float) -> None:
+        """A batch on this replica failed at ``now_ms``."""
+        self.consecutive_failures += 1
+        self._probe_inflight = False
+        if self.state is BreakerState.HALF_OPEN or (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = BreakerState.OPEN
+            self.opened_at_ms = now_ms
+            self.opens += 1

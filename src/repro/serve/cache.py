@@ -28,7 +28,7 @@ from __future__ import annotations
 import dataclasses
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.nn.context import GroupPolicy
@@ -45,6 +45,11 @@ class PolicyCache:
         self._policies: Dict[PolicyKey, GroupPolicy] = {}
         self.hits = 0
         self.misses = 0
+        #: Monotone content version: bumped on every :meth:`put`.  The
+        #: runtime's batch-execution memo keys on it, so a policy install
+        #: (inline tune, background tune landing) invalidates memo entries
+        #: computed against the older cache content.
+        self.version = 0
 
     @staticmethod
     def make_key(
@@ -62,6 +67,7 @@ class PolicyCache:
 
     def put(self, key: PolicyKey, policy: GroupPolicy) -> GroupPolicy:
         self._policies[key] = policy
+        self.version += 1
         return policy
 
     def warm_from_file(self, key: PolicyKey, path: "str | Path") -> GroupPolicy:
@@ -142,6 +148,69 @@ class KmapCache:
     def warm_keys(self) -> Tuple[tuple, ...]:
         """Resident scene keys, LRU-first (diagnostics / affinity tests)."""
         return tuple(self._entries)
+
+    def peek(self, scene_key: tuple) -> Optional[KmapEntry]:
+        """Entry for ``scene_key`` without touching hit/miss accounting,
+        use counts or LRU order (pure inspection, like ``in``)."""
+        return self._entries.get(scene_key)
+
+    def batch_fingerprint(
+        self, scene_keys: Sequence[tuple], ordered: bool = False
+    ) -> tuple:
+        """Hashable summary of everything an interleaved get/put sequence
+        over ``scene_keys`` depends on — the runtime's batch-execution
+        memo keys on this.  Read-only: accounting and LRU order are
+        untouched.
+
+        When even the worst case (every absent key inserted) cannot
+        overflow the cache, eviction is impossible and the sequence
+        depends only on how often each scene occurs and whether it is
+        resident (with which pre-charge keys) — scene charge keys are
+        per-kernel-map and disjoint across scenes, so batch cost is
+        order-insensitive and the summary canonicalises to a sorted
+        multiset (maximising memo reuse across equivalent batch
+        orderings).  With ``ordered=True`` (multi-stream pricing, where
+        launch order can shift sync placement) or when eviction is
+        possible, the summary keeps the exact sequence plus cache size,
+        capacity and each key's LRU rank: positions not held by one of
+        ``scene_keys`` are interchangeable unrelated entries, so equal
+        summaries still guarantee identical behaviour."""
+        # Reuse the stored frozensets: their hashes are cached, so key
+        # hashing stays cheap across thousands of lookups.
+        warmth = [
+            (
+                self._entries[key].charge_keys
+                if key in self._entries else None
+            )
+            for key in scene_keys
+        ]
+        absent = {key for key in scene_keys if key not in self._entries}
+        if ordered or len(self._entries) + len(absent) > self.capacity:
+            rank = {key: i for i, key in enumerate(self._entries)}
+            return (
+                "ordered",
+                tuple(scene_keys),
+                len(self._entries),
+                self.capacity,
+                tuple(
+                    (rank.get(key, -1), keys)
+                    for key, keys in zip(scene_keys, warmth)
+                ),
+            )
+        counts: Dict[tuple, int] = {}
+        for key in scene_keys:
+            counts[key] = counts.get(key, 0) + 1
+        warm_by_scene = dict(zip(scene_keys, warmth))
+        return (
+            "multiset",
+            tuple(sorted(
+                (
+                    (key, count, warm_by_scene[key])
+                    for key, count in counts.items()
+                ),
+                key=lambda item: (item[0], item[1]),
+            )),
+        )
 
     @property
     def hit_rate(self) -> float:

@@ -24,6 +24,7 @@ as reproducible as a clean one.
 from __future__ import annotations
 
 import dataclasses
+import math
 import random
 from typing import Dict, List, Optional, Tuple
 
@@ -115,6 +116,12 @@ class FaultPlan:
         ``fail`` (per-batch probability), ``fail_cost``, ``oom``
         (per-batch simulated-OOM probability), ``skew`` (multiplier),
         ``skew_replica`` (index, repeatable).
+
+        Every malformed item — unknown key, junk number, negative rate,
+        out-of-range probability — raises
+        :class:`~repro.errors.ConfigError` naming the offending token
+        and listing the valid keys, so a CLI typo fails fast with a
+        usable message instead of a traceback mid-run.
         """
         fields: Dict[str, object] = {"seed": seed}
         skew_replicas: List[int] = []
@@ -128,21 +135,33 @@ class FaultPlan:
             key = key.strip()
             if key not in cls.SPEC_KEYS:
                 raise ConfigError(
-                    f"unknown fault key {key!r}; expected one of "
-                    f"{sorted(cls.SPEC_KEYS)}"
+                    f"unknown fault key {key!r} in {part!r}; expected one "
+                    f"of {sorted(cls.SPEC_KEYS)}"
                 )
             try:
                 if key == "skew_replica":
                     skew_replicas.append(int(value))
                 else:
-                    fields[cls.SPEC_KEYS[key]] = float(value)
+                    number = float(value)
+                    if not math.isfinite(number):
+                        raise ValueError(value)
+                    fields[cls.SPEC_KEYS[key]] = number
             except ValueError:
                 raise ConfigError(
-                    f"bad fault value {value!r} for key {key!r}"
+                    f"bad fault value {value!r} for key {key!r} "
+                    f"(valid keys: {sorted(cls.SPEC_KEYS)})"
                 ) from None
         if skew_replicas:
             fields["skew_replicas"] = tuple(skew_replicas)
-        return cls(**fields)  # type: ignore[arg-type]
+        try:
+            return cls(**fields)  # type: ignore[arg-type]
+        except ConfigError as exc:
+            # Re-raise range errors with the spec context so the CLI user
+            # sees which token of their --faults string is out of range.
+            raise ConfigError(
+                f"bad fault spec {spec!r}: {exc} "
+                f"(valid keys: {sorted(cls.SPEC_KEYS)})"
+            ) from None
 
 
 class _StallStream:

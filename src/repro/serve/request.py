@@ -43,6 +43,11 @@ class InferenceRequest:
         arrival_ms: Arrival time on the simulated clock.
         deadline_ms: Relative latency budget; the absolute deadline is
             ``arrival_ms + deadline_ms``.
+        tenant: Name of the tenant the request belongs to
+            (:class:`repro.serve.admission.TenantSpec`); single-tenant
+            schedules use ``"default"``.
+        priority: Priority class inherited from the tenant (0 = highest).
+            Under queue pressure the runtime sheds lowest-priority-first.
     """
 
     request_id: int
@@ -52,6 +57,8 @@ class InferenceRequest:
     scene_seed: int
     arrival_ms: float
     deadline_ms: float
+    tenant: str = "default"
+    priority: int = 0
 
     @property
     def absolute_deadline_ms(self) -> float:
@@ -75,6 +82,10 @@ class RequestOutcome:
     ``hedge_won`` marks those the hedge finished first for.  ``ladder``
     lists the degradation-ladder rungs taken to recover the request's
     batch from a simulated OOM (empty when memory never ran out).
+    ``budget_exhausted`` marks FAILED requests whose tenant's retry
+    budget denied a retry that ``max_retries`` would still have granted;
+    ``quota_denied`` marks SHED requests dropped by their tenant's token
+    bucket rather than by queue pressure.
     """
 
     request: InferenceRequest
@@ -91,6 +102,8 @@ class RequestOutcome:
     hedged: bool = False
     hedge_won: bool = False
     ladder: Tuple[str, ...] = ()
+    budget_exhausted: bool = False
+    quota_denied: bool = False
 
     @property
     def completed(self) -> bool:

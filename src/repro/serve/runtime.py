@@ -43,7 +43,8 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
-from typing import Dict, List, Optional, Sequence, Tuple
+import random
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.errors import AdmissionError, ConfigError, SimulatedOOMError
 from repro.gpusim.engine import enforce_memory_budget, memory_budget_bytes
@@ -52,8 +53,16 @@ from repro.models.registry import Workload, get_workload
 from repro.nn.context import ExecutionContext, FixedPolicy, GroupPolicy, LayerConfig
 from repro.nn.module import Module
 from repro.precision import Precision
+from repro.serve.admission import (
+    PriorityRequestQueue,
+    RetryBudget,
+    TenantSpec,
+    TokenBucket,
+)
+from repro.serve.autoscale import AutoscalePolicy, Autoscaler
 from repro.serve.balancer import BALANCERS, get_balancer
 from repro.serve.batcher import DynamicBatcher, RequestQueue
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.cache import KmapCache, KmapEntry, PolicyCache, PolicyKey
 from repro.serve.faults import NO_FAULTS, FaultInjector, FaultPlan
 from repro.serve.metrics import ServingMetrics, compute_metrics
@@ -143,6 +152,38 @@ class ServeConfig:
             ladder (:mod:`repro.resilience`); admission rejects models
             whose static weight footprint alone exceeds the smallest
             replica budget.
+        tenants: the tenant roster (:class:`TenantSpec`); empty serves a
+            single implicit ``"default"`` tenant.  Tenants bring per-tenant
+            quotas (token buckets), priority classes and retry budgets.
+        priority_shedding: shed lowest-priority-first under queue
+            pressure (an arriving higher-class request displaces the
+            youngest worst-class queued request) instead of dropping
+            arrivals FIFO-style.  Only takes effect when the schedule
+            actually carries more than one priority class.
+        retry_jitter: multiply every retry backoff by a seeded factor in
+            ``[0.5, 1.5)`` so synchronized failures do not re-arrive as a
+            synchronized retry wave.  Deterministic per (seed, request,
+            attempt); disable for the legacy fixed-backoff behaviour.
+        retry_budget: default retries-per-success ratio of every tenant
+            that does not set its own; negative disables retry budgets.
+        breaker_failures: consecutive batch failures that open a
+            replica's circuit breaker (balancers then skip it for
+            ``breaker_cooldown_ms``, after which one half-open probe
+            decides re-close vs re-open); 0 disables breakers.
+        breaker_cooldown_ms: OPEN-state duration before the probe.
+        autoscale: SLO-driven autoscaling policy
+            (:class:`~repro.serve.autoscale.AutoscalePolicy`); None keeps
+            the fleet static at ``replicas``.
+        slo_ms: latency target requests are judged against in the SLO
+            attainment metrics (and by the autoscaler when active); 0
+            judges each request against its own deadline.
+        batch_memo: memoize the expensive model-execution portion of
+            identical batches (same workload, scenes, cache-warmth
+            pattern and policy-cache content).  Purely an evaluation-
+            speed knob: memoized and unmemoized runs produce identical
+            metrics, it only skips re-simulating work whose outcome is
+            already known.  On by default; large traffic sweeps are
+            infeasible without it.
     """
 
     device: str = "a100"
@@ -172,6 +213,15 @@ class ServeConfig:
     lint_admission: bool = True
     mem_headroom: float = 0.1
     gpu_streams: int = 1
+    tenants: Tuple[TenantSpec, ...] = ()
+    priority_shedding: bool = True
+    retry_jitter: bool = True
+    retry_budget: float = -1.0
+    breaker_failures: int = 0
+    breaker_cooldown_ms: float = 250.0
+    autoscale: Optional[AutoscalePolicy] = None
+    slo_ms: float = 0.0
+    batch_memo: bool = True
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -212,11 +262,32 @@ class ServeConfig:
             raise ConfigError(
                 f"mem_headroom must be in [0, 1), got {self.mem_headroom}"
             )
+        names = [t.name for t in self.tenants]
+        if len(names) != len(set(names)):
+            raise ConfigError(f"duplicate tenant names in roster: {names}")
+        if self.breaker_failures < 0:
+            raise ConfigError(
+                f"breaker_failures must be >= 0, got {self.breaker_failures}"
+            )
+        if self.breaker_cooldown_ms <= 0:
+            raise ConfigError(
+                f"breaker_cooldown_ms must be positive, "
+                f"got {self.breaker_cooldown_ms}"
+            )
+        if self.slo_ms < 0:
+            raise ConfigError(f"slo_ms must be >= 0, got {self.slo_ms}")
 
 
 @dataclasses.dataclass
 class DeviceReplica:
-    """One simulated device with its own clock, queue and warm map cache."""
+    """One simulated device with its own clock, queue and warm map cache.
+
+    The lifecycle fields support autoscaling: ``provisioned_at_ms`` marks
+    when the replica joined the fleet (0 for the static fleet), a
+    draining replica accepts no new batches, and ``retired_at_ms`` is set
+    once its in-flight work resolved and it left the fleet.  ``breaker``
+    is the replica's circuit breaker when breakers are enabled.
+    """
 
     index: int
     spec: DeviceSpec
@@ -229,6 +300,59 @@ class DeviceReplica:
     retries_served: int = 0
     hedges_served: int = 0
     ooms: int = 0
+    breaker: Optional[CircuitBreaker] = None
+    provisioned_at_ms: float = 0.0
+    draining: bool = False
+    retired_at_ms: Optional[float] = None
+
+    @property
+    def retired(self) -> bool:
+        return self.retired_at_ms is not None
+
+
+@dataclasses.dataclass(frozen=True)
+class _BatchCost:
+    """Memoized result of one batch's (simulated) model execution.
+
+    Everything downstream of :meth:`ServingRuntime._execute`'s expensive
+    portion — service time, stage breakdown, OOM/ladder outcome and the
+    per-request kernel-map charge keys — as a pure value.  The memo key
+    captures every input the execution depends on, so replaying a cached
+    cost is byte-identical to re-simulating it.
+    """
+
+    service_ms: float  # model + ladder retry + preprocess (no dispatch)
+    stages: Tuple[Tuple[str, float], ...]
+    ladder: Tuple[str, ...]
+    sync_events: int
+    oomed: bool
+    degraded: bool
+    #: Charge keys of each scene the execution cold-filled, keyed by
+    #: scene — not by batch position, so one memoized cost replays
+    #: correctly for any batch ordering with the same fingerprint.
+    charges: Tuple[Tuple[tuple, FrozenSet[tuple]], ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class _SampleCost:
+    """Memoized single-sample simulation at a fixed cache warmth.
+
+    On one GPU stream the simulated trace serializes, so every batch
+    quantity is a per-sample sum (latency, stage breakdown, preprocess,
+    co-resident feature bytes) or max (liveness-aware peak workspace) —
+    scene charge keys are per-kernel-map and disjoint across scenes, so
+    a sample's cost is independent of its batchmates.  Batch costs
+    compose from these (:meth:`ServingRuntime._compose_cost`), which
+    collapses the memo space from "every distinct batch composition"
+    to "every distinct (scene, warmth)".
+    """
+
+    latency_us: float
+    stages: Tuple[Tuple[str, float], ...]
+    preprocess_us: float
+    feature_bytes: float
+    peak_workspace_bytes: float
+    charge: FrozenSet[tuple]  # keys a cold fill would record (empty if warm)
 
 
 @dataclasses.dataclass
@@ -289,6 +413,11 @@ class ServeResult:
         parts = [self.metrics.to_table(), self.metrics.stage_table()]
         if self.metrics.per_replica:
             parts.append(self.metrics.cluster_table())
+        tenants = self.metrics.per_tenant
+        if tenants and (
+            len(tenants) > 1 or tenants[0].get("tenant") != "default"
+        ):
+            parts.append(self.metrics.tenant_table())
         return "\n\n".join(parts)
 
 
@@ -330,6 +459,15 @@ class ServingRuntime:
         #: Per-workload reason the degradation ladder must not drop
         #: storage precision (static value-range pass), None when safe.
         self._precision_vetoes: Dict[str, Optional[str]] = {}
+        #: Batch-execution memo (active when ``config.batch_memo``): maps
+        #: a full execution fingerprint to its :class:`_BatchCost`.  The
+        #: key captures everything the simulated cost depends on, so a
+        #: memo hit is indistinguishable from re-simulating the batch.
+        self._batch_memo: Dict[tuple, _BatchCost] = {}
+        #: Per-sample simulation memo backing :meth:`_compose_cost`:
+        #: (workload, scene, warmth, policy version, degraded) ->
+        #: :class:`_SampleCost`.
+        self._sample_memo: Dict[tuple, _SampleCost] = {}
 
     # ------------------------------------------------------------------ #
     def _admit(self, workload_id: str, model: Module, in_channels: int) -> None:
@@ -556,7 +694,178 @@ class ServingRuntime:
         if kmap_cache is None:  # replicas built outside serve(): no reuse
             kmap_cache = KmapCache(capacity=self.config.kmap_cache_size)
             replica.kmap_cache = kmap_cache
+        samples = [self.scenes.sample(workload, r) for r in batch]
+        scene_keys = tuple(r.scene_key for r in batch)
+        # Execution fingerprint: workload + a summary of the scenes and
+        # replica cache state the batch's interleaved get/put sequence
+        # depends on, the policy-cache content version the resolved policy
+        # came from, the degraded flag (selects the FixedPolicy-default
+        # path and disables adaptive tiling) and whether an OOM is
+        # injected.  On a single stream the scene summary is an unordered
+        # multiset — per-scene costs are independent, so any ordering of
+        # the same scenes re-simulates to the same totals; with multiple
+        # streams launch order shifts sync placement, so the exact
+        # sequence stays in the key.  Equal fingerprints provably
+        # re-simulate to equal costs, so the memo is lossless.
+        fingerprint = kmap_cache.batch_fingerprint(
+            scene_keys, ordered=self.config.gpu_streams > 1
+        )
+        memo_key = (
+            workload_id,
+            fingerprint,
+            self.policy_cache.version,
+            degraded,
+            forced_oom,
+        )
+        cost = (
+            self._batch_memo.get(memo_key) if self.config.batch_memo else None
+        )
+        replay = cost is not None
+        if (
+            cost is None
+            and self.config.batch_memo
+            and fingerprint[0] == "multiset"
+        ):
+            # Unseen composition of (possibly) already-seen scenes: compose
+            # the batch cost from per-sample memo entries instead of
+            # re-simulating the whole batch.  Pure — cache accounting is
+            # applied by the replay below, exactly as for a memo hit.
+            cost = self._compose_cost(
+                batch, samples, kmap_cache, model, workload_id, policy,
+                degraded, replica.spec, forced_oom,
+            )
+            if cost is not None:
+                self._batch_memo[memo_key] = cost
+                replay = True
+        if cost is None:
+            cost, kmap_hits = self._execute_cold(
+                batch, samples, kmap_cache, model, workload_id, policy,
+                degraded, replica.spec, forced_oom,
+            )
+            if self.config.batch_memo:
+                self._batch_memo[memo_key] = cost
+        if replay:
+            # Memo hit: replay the cold execution's cache sequence (same
+            # gets, same fills from the recorded per-scene charge keys),
+            # so cache accounting and future warmth are indistinguishable
+            # from having re-simulated the batch.
+            charge_by_scene = dict(cost.charges)
+            kmap_hits = []
+            for request, sample in zip(batch, samples):
+                entry = kmap_cache.get(request.scene_key)
+                hit = entry is not None
+                kmap_hits.append(hit)
+                if not hit:
+                    kmap_cache.put(
+                        request.scene_key,
+                        KmapEntry(
+                            sample=sample,
+                            charge_keys=charge_by_scene.get(
+                                request.scene_key, frozenset()
+                            ),
+                        ),
+                    )
+        if cost.oomed:
+            replica.ooms += 1
+        stages = dict(cost.stages)
+        stages["host/dispatch"] = self.config.dispatch_overhead_us
+        if extra_ms:
+            stages["host/inline_tune"] = extra_ms * 1e3
+        service_ms = (
+            cost.service_ms
+            + self.config.dispatch_overhead_us / 1e3
+            + extra_ms
+        )
+        return (
+            service_ms,
+            policy_hit,
+            cost.degraded,
+            kmap_hits,
+            stages,
+            cost.ladder,
+            cost.sync_events,
+        )
 
+    def _compose_cost(
+        self,
+        batch: Sequence[InferenceRequest],
+        samples: List[SparseTensor],
+        kmap_cache: KmapCache,
+        model: Module,
+        workload_id: str,
+        policy: object,
+        degraded: bool,
+        spec: DeviceSpec,
+        forced_oom: bool,
+    ) -> Optional[_BatchCost]:
+        """Compose a batch's :class:`_BatchCost` from per-sample memo
+        entries (valid only for "multiset" fingerprints: one GPU stream,
+        no eviction possible).  Pure — no cache mutation; the caller
+        replays the get/put sequence.  Returns ``None`` when the batch
+        needs the full path: an injected OOM, or a modeled peak over
+        budget (the degradation ladder re-executes the whole batch).
+        """
+        if forced_oom:
+            return None
+        version = self.policy_cache.version
+        filled: Dict[tuple, FrozenSet[tuple]] = {}
+        charges: List[Tuple[tuple, FrozenSet[tuple]]] = []
+        latency_us = 0.0
+        stages: Dict[str, float] = {}
+        preprocess_us = 0.0
+        feature_bytes = 0.0
+        peak_workspace = 0.0
+        for request, sample in zip(batch, samples):
+            key = request.scene_key
+            entry = kmap_cache.peek(key)
+            warmth = (
+                entry.charge_keys if entry is not None else filled.get(key)
+            )
+            sample_key = (workload_id, key, warmth, version, degraded)
+            cost = self._sample_memo.get(sample_key)
+            if cost is None:
+                cost = self._simulate_sample(
+                    sample, model, policy, degraded, warmth
+                )
+                self._sample_memo[sample_key] = cost
+            if entry is None and key not in filled:
+                filled[key] = cost.charge
+                charges.append((key, cost.charge))
+            latency_us += cost.latency_us
+            for stage, us in cost.stages:
+                stages[stage] = stages.get(stage, 0.0) + us
+            preprocess_us += cost.preprocess_us
+            feature_bytes += cost.feature_bytes
+            peak_workspace = max(peak_workspace, cost.peak_workspace_bytes)
+        budget = memory_budget_bytes(spec, self.config.mem_headroom)
+        resident = model_weight_bytes(model, self.precision) + feature_bytes
+        if peak_workspace + resident > budget:
+            return None
+        stages["host/preprocess"] = preprocess_us
+        return _BatchCost(
+            service_ms=(latency_us + preprocess_us) / 1e3,
+            stages=tuple(stages.items()),
+            ladder=(),
+            sync_events=0,
+            oomed=False,
+            degraded=degraded,
+            charges=tuple(charges),
+        )
+
+    def _simulate_sample(
+        self,
+        sample: SparseTensor,
+        model: Module,
+        policy: object,
+        degraded: bool,
+        warmth: Optional[FrozenSet[tuple]],
+    ) -> _SampleCost:
+        """Simulate one sample in a fresh context at the given warmth.
+
+        Scene charge keys are disjoint, so a fresh context pre-charged
+        with the scene's own keys reproduces exactly the launches the
+        sample would contribute to a shared batch context.
+        """
         ctx = ExecutionContext(
             device=self.device,
             precision=self.precision,
@@ -565,18 +874,62 @@ class ServingRuntime:
             adaptive_tiling=not degraded,
             gpu_streams=self.config.gpu_streams,
         )
+        if warmth:
+            ctx.precharge(warmth)
+        shapes: List[Tuple[int, int, int, int]] = []
+        ctx.recorder = lambda signature=None, kmap=None, c_in=0, c_out=0, label="": (
+            shapes.append((c_in, c_out, kmap.num_inputs, kmap.num_outputs))
+        )
+        model(sample, ctx)
+        ctx.recorder = None
+        itemsize = float(self.precision.itemsize)
+        return _SampleCost(
+            latency_us=ctx.latency_us(),
+            stages=tuple(ctx.breakdown_us().items()),
+            preprocess_us=self._preprocess_us(sample),
+            feature_bytes=max(
+                (itemsize * (ni * ci + no * co) for ci, co, ni, no in shapes),
+                default=0.0,
+            ),
+            peak_workspace_bytes=ctx.trace.summary().peak_workspace_bytes,
+            charge=(
+                frozenset() if warmth is not None
+                else frozenset(ctx.charged_keys())
+            ),
+        )
+
+    def _execute_cold(
+        self,
+        batch: Sequence[InferenceRequest],
+        samples: List[SparseTensor],
+        kmap_cache: KmapCache,
+        model: Module,
+        workload_id: str,
+        policy: object,
+        degraded: bool,
+        spec: DeviceSpec,
+        forced_oom: bool,
+    ) -> Tuple[_BatchCost, List[bool]]:
+        """Actually simulate one batch; returns (:class:`_BatchCost`,
+        per-request kmap hits)."""
+        ctx = ExecutionContext(
+            device=self.device,
+            precision=self.precision,
+            policy=policy,
+            simulate_only=True,
+            adaptive_tiling=not degraded,
+            gpu_streams=self.config.gpu_streams,
+        )
+        charges: List[Tuple[tuple, FrozenSet[tuple]]] = []
         kmap_hits: List[bool] = []
-        samples: List[SparseTensor] = []
         preprocess_us = 0.0
         feature_bytes = 0.0
         itemsize = float(self.precision.itemsize)
-        for request in batch:
-            sample = self.scenes.sample(workload, request)
-            samples.append(sample)
+        for request, sample in zip(batch, samples):
             entry = kmap_cache.get(request.scene_key)
             hit = entry is not None
             kmap_hits.append(hit)
-            if hit:
+            if entry is not None:
                 ctx.precharge(entry.charge_keys)
             before = ctx.charged_keys()
             shapes: List[Tuple[int, int, int, int]] = []
@@ -586,12 +939,11 @@ class ServingRuntime:
             model(sample, ctx)
             ctx.recorder = None
             if not hit:
+                charge = frozenset(ctx.charged_keys() - before)
+                charges.append((request.scene_key, charge))
                 kmap_cache.put(
                     request.scene_key,
-                    KmapEntry(
-                        sample=sample,
-                        charge_keys=ctx.charged_keys() - before,
-                    ),
+                    KmapEntry(sample=sample, charge_keys=charge),
                 )
             preprocess_us += self._preprocess_us(sample)
             # One sample's feature peak: the largest live (input + output)
@@ -601,23 +953,24 @@ class ServingRuntime:
                 default=0.0,
             )
 
-        budget = memory_budget_bytes(replica.spec, self.config.mem_headroom)
+        budget = memory_budget_bytes(spec, self.config.mem_headroom)
         resident = model_weight_bytes(model, self.precision) + feature_bytes
         ladder_taken: Tuple[str, ...] = ()
         retry_us = 0.0
         retry_sync_events = 0
+        oomed = False
         try:
             peak = enforce_memory_budget(
-                ctx.trace, replica.spec,
+                ctx.trace, spec,
                 resident_bytes=resident, budget_bytes=budget,
             )
             if forced_oom:
                 raise SimulatedOOMError(
-                    f"injected OOM on {replica.spec.name}",
+                    f"injected OOM on {spec.name}",
                     peak_bytes=peak, budget_bytes=budget,
                 )
         except SimulatedOOMError:
-            replica.ooms += 1
+            oomed = True
             memo: Dict[ExecState, float] = {}
 
             def footprint(state: ExecState) -> float:
@@ -628,7 +981,7 @@ class ServingRuntime:
                     memo[state] = model_footprint(
                         model,
                         samples,
-                        device=replica.spec,
+                        device=spec,
                         precision=state.precision,
                         policy=FixedPolicy(state.config),
                         batch_chunks=state.batch_chunks,
@@ -670,29 +1023,24 @@ class ServingRuntime:
 
         stages = dict(ctx.breakdown_us())
         stages["host/preprocess"] = preprocess_us
-        stages["host/dispatch"] = self.config.dispatch_overhead_us
-        if extra_ms:
-            stages["host/inline_tune"] = extra_ms * 1e3
         if retry_us:
             stages["resilience/ladder"] = retry_us
-        service_ms = (
-            ctx.latency_us()
-            + retry_us
-            + preprocess_us
-            + self.config.dispatch_overhead_us
-        ) / 1e3 + extra_ms
+        service_ms = (ctx.latency_us() + retry_us + preprocess_us) / 1e3
         sync_events = retry_sync_events
         schedule = ctx.stream_schedule()
         if schedule is not None:
             sync_events += len(schedule.events)
         return (
-            service_ms,
-            policy_hit,
-            degraded,
+            _BatchCost(
+                service_ms=service_ms,
+                stages=tuple(stages.items()),
+                ladder=ladder_taken,
+                sync_events=sync_events,
+                oomed=oomed,
+                degraded=degraded,
+                charges=tuple(charges),
+            ),
             kmap_hits,
-            stages,
-            ladder_taken,
-            sync_events,
         )
 
     # ------------------------------------------------------------------ #
@@ -703,16 +1051,72 @@ class ServingRuntime:
         config = self.config
         balancer = get_balancer(config.balancer)
         plan = config.faults or NO_FAULTS
-        injector = FaultInjector(plan, config.replicas)
+        first_arrival_ms = min(r.arrival_ms for r in requests)
+
+        def make_breaker() -> Optional[CircuitBreaker]:
+            if config.breaker_failures > 0:
+                return CircuitBreaker(
+                    config.breaker_failures, config.breaker_cooldown_ms
+                )
+            return None
+
+        autoscaler = (
+            Autoscaler(config.autoscale)
+            if config.autoscale is not None else None
+        )
+        initial_replicas = config.replicas
+        if config.autoscale is not None:
+            initial_replicas = min(
+                max(initial_replicas, config.autoscale.min_replicas),
+                config.autoscale.max_replicas,
+            )
+        injector = FaultInjector(plan, initial_replicas)
         replicas = [
             DeviceReplica(
                 index=i,
                 spec=self.device,
                 kmap_cache=KmapCache(capacity=config.kmap_cache_size),
+                breaker=make_breaker(),
+                provisioned_at_ms=first_arrival_ms,
             )
-            for i in range(config.replicas)
+            for i in range(initial_replicas)
         ]
-        queue = RequestQueue(max_depth=config.queue_depth)
+        replicas_peak = initial_replicas
+
+        # Tenant state: roster (configured tenants plus any tenant names
+        # the schedule carries that the roster does not), per-tenant token
+        # buckets (only for metered tenants) and retry budgets.
+        tenant_specs: Dict[str, TenantSpec] = {
+            t.name: t for t in config.tenants
+        }
+        for request in requests:
+            if request.tenant not in tenant_specs:
+                tenant_specs[request.tenant] = TenantSpec(
+                    name=request.tenant, priority=request.priority
+                )
+        buckets: Dict[str, TokenBucket] = {
+            name: TokenBucket(spec.quota_rps, spec.quota_burst)
+            for name, spec in tenant_specs.items()
+            if spec.quota_rps > 0
+        }
+        budgets: Dict[str, RetryBudget] = {
+            name: RetryBudget(
+                spec.retry_budget if spec.retry_budget >= 0
+                else config.retry_budget
+            )
+            for name, spec in tenant_specs.items()
+        }
+
+        # Priority-aware queueing only once it can matter: a roster or a
+        # schedule with more than one class.  Single-class runs keep the
+        # legacy FIFO queue (identical dispatch order to prior releases).
+        multi_class = len({r.priority for r in requests}) > 1
+        use_priority = bool(config.tenants) or multi_class
+        queue: RequestQueue = (
+            PriorityRequestQueue(max_depth=config.queue_depth)
+            if use_priority else RequestQueue(max_depth=config.queue_depth)
+        )
+        shed_by_priority = use_priority and config.priority_shedding
         workload_cache: Dict[str, Workload] = {}
         db_hits_before = self.tuning_db.hits if self.tuning_db else 0
         db_misses_before = self.tuning_db.misses if self.tuning_db else 0
@@ -738,7 +1142,7 @@ class ServingRuntime:
         events: List[Tuple[float, int, int, object]] = []
         timer_times: set = set()
         seq = 0
-        ARRIVAL, FREE, TIMER, RETRY = 0, 1, 2, 3
+        ARRIVAL, FREE, TIMER, RETRY, SCALE = 0, 1, 2, 3, 4
         for request in sorted(requests, key=lambda r: (r.arrival_ms, r.request_id)):
             heapq.heappush(events, (request.arrival_ms, seq, ARRIVAL, request))
             seq += 1
@@ -759,15 +1163,57 @@ class ServingRuntime:
                 timer_times.add(at)
                 push_event(at, TIMER, None)
 
+        if autoscaler is not None:
+            push_event(
+                first_arrival_ms + config.autoscale.interval_ms, SCALE, None
+            )
+
+        def slo_missed(outcome: RequestOutcome) -> bool:
+            """Did the request miss the run's latency target?"""
+            if not outcome.completed or outcome.finish_ms is None:
+                return True
+            target = (
+                config.slo_ms if config.slo_ms > 0
+                else outcome.request.deadline_ms
+            )
+            return outcome.finish_ms - outcome.request.arrival_ms > target
+
+        def resolve(outcome: RequestOutcome) -> None:
+            """Record a terminal outcome; feeds the retry budget (each
+            success accrues budget) and the autoscaler's window."""
+            outcomes[outcome.request.request_id] = outcome
+            if outcome.completed:
+                budget = budgets.get(outcome.request.tenant)
+                if budget is not None:
+                    budget.record_success()
+            if autoscaler is not None and outcome.finish_ms is not None:
+                autoscaler.observe(
+                    outcome.finish_ms,
+                    outcome.finish_ms - outcome.request.arrival_ms,
+                    outcome.request.priority,
+                    slo_missed(outcome),
+                )
+
         def candidates(now: float) -> Tuple[List[DeviceReplica], Optional[float]]:
-            """Replicas a batch may be dispatched to, and — when all are
-            stalled — the earliest recovery time to retry at."""
+            """Replicas a batch may be dispatched to, and — when none are
+            available — the earliest recovery time to retry at (a stall
+            window's end or an open breaker's half-open probe time)."""
             out: List[DeviceReplica] = []
             recover: Optional[float] = None
             for replica in replicas:
+                if replica.retired or replica.draining:
+                    continue
                 until = injector.stalled_until(replica.index, now)
                 if until is not None:  # draining: no new work until recovery
                     recover = until if recover is None else min(recover, until)
+                    continue
+                if replica.breaker is not None and not replica.breaker.allows(now):
+                    probe_at = replica.breaker.next_probe_at_ms()
+                    if probe_at is not None:
+                        recover = (
+                            probe_at if recover is None
+                            else min(recover, probe_at)
+                        )
                     continue
                 if replica.inflight >= config.replica_queue_depth:
                     continue
@@ -778,11 +1224,11 @@ class ServingRuntime:
             if config.timeout_ms <= 0:
                 return
             for request in queue.expire(now, config.timeout_ms):
-                outcomes[request.request_id] = RequestOutcome(
+                resolve(RequestOutcome(
                     request=request,
                     status=RequestStatus.TIMED_OUT,
                     attempts=attempts.get(request.request_id, 0),
-                )
+                ))
 
         def run_attempt(
             batch: List[InferenceRequest], replica: DeviceReplica, now: float
@@ -823,9 +1269,11 @@ class ServingRuntime:
             replica.retries_served += sum(
                 1 for r in batch if attempts.get(r.request_id, 0) > 1
             )
+            if replica.breaker is not None:
+                replica.breaker.on_dispatch()
             for stage, us in stages.items():
                 stage_totals[stage] = stage_totals.get(stage, 0.0) + us
-            push_event(finish, FREE, replica.index)
+            push_event(finish, FREE, (replica.index, failed))
             return _Attempt(
                 replica=replica,
                 batch_id=batch_id,
@@ -871,7 +1319,7 @@ class ServingRuntime:
             if winners:
                 winner = min(winners, key=lambda a: (a.finish_ms, a.batch_id))
                 for request, kmap_hit in zip(batch, winner.kmap_hits):
-                    outcomes[request.request_id] = RequestOutcome(
+                    resolve(RequestOutcome(
                         request=request,
                         status=(
                             RequestStatus.DEGRADED
@@ -890,31 +1338,45 @@ class ServingRuntime:
                         hedged=hedge is not None,
                         hedge_won=hedge is not None and winner is hedge,
                         ladder=winner.ladder,
-                    )
+                    ))
                 return
             # Every copy failed: the error surfaces once the last copy
-            # resolves; retry after exponential backoff, or give up.
+            # resolves; retry after exponential backoff — if the tenant's
+            # retry budget grants one — or give up.
             resolved = max(a.finish_ms for a in tries)
             last = max(tries, key=lambda a: (a.finish_ms, a.batch_id))
             for request in batch:
                 tried = attempts[request.request_id]
+                budget_denied = False
                 if tried <= config.max_retries:
-                    backoff = config.retry_backoff_ms * (2 ** (tried - 1))
-                    push_event(resolved + backoff, RETRY, request)
-                    retries_pending += 1
-                else:
-                    outcomes[request.request_id] = RequestOutcome(
-                        request=request,
-                        status=RequestStatus.FAILED,
-                        start_ms=last.start_ms,
-                        finish_ms=resolved,
-                        batch_id=last.batch_id,
-                        batch_size=len(batch),
-                        replica=last.replica.index,
-                        service_ms=last.service_ms,
-                        attempts=tried,
-                        hedged=hedge is not None,
-                    )
+                    budget = budgets.get(request.tenant)
+                    if budget is None or budget.allow():
+                        backoff = config.retry_backoff_ms * (2 ** (tried - 1))
+                        if config.retry_jitter:
+                            # Seeded per (request, attempt): spreads a
+                            # failure wave's retries over [0.5, 1.5) of the
+                            # base backoff without losing determinism.
+                            backoff *= 0.5 + random.Random(
+                                f"{plan.seed}/retryjitter/"
+                                f"{request.request_id}/{tried}"
+                            ).random()
+                        push_event(resolved + backoff, RETRY, request)
+                        retries_pending += 1
+                        continue
+                    budget_denied = True
+                resolve(RequestOutcome(
+                    request=request,
+                    status=RequestStatus.FAILED,
+                    start_ms=last.start_ms,
+                    finish_ms=resolved,
+                    batch_id=last.batch_id,
+                    batch_size=len(batch),
+                    replica=last.replica.index,
+                    service_ms=last.service_ms,
+                    attempts=tried,
+                    hedged=hedge is not None,
+                    budget_exhausted=budget_denied,
+                ))
 
         def try_dispatch(now: float) -> None:
             expire_queue(now)
@@ -939,18 +1401,51 @@ class ServingRuntime:
                 if decision is not None and decision > now:
                     push_timer(decision)
 
+        end_ms = first_arrival_ms
         while events:
             now, _, kind, payload = heapq.heappop(events)
+            end_ms = max(end_ms, now)
             if kind == ARRIVAL:
                 arrivals_pending -= 1
                 request = payload
-                if not queue.admit(request):
-                    outcomes[request.request_id] = RequestOutcome(
+                bucket = buckets.get(request.tenant)
+                if bucket is not None and not bucket.take(now):
+                    # Over quota: shed at arrival, before queue admission.
+                    resolve(RequestOutcome(
+                        request=request,
+                        status=RequestStatus.SHED,
+                        attempts=0,
+                        quota_denied=True,
+                    ))
+                elif shed_by_priority and isinstance(
+                    queue, PriorityRequestQueue
+                ):
+                    victim = queue.admit_displacing(request)
+                    if victim is not None:
+                        resolve(RequestOutcome(
+                            request=victim,
+                            status=RequestStatus.SHED,
+                            attempts=attempts.get(victim.request_id, 0),
+                        ))
+                elif not queue.admit(request):
+                    resolve(RequestOutcome(
                         request=request, status=RequestStatus.SHED, attempts=0
-                    )
+                    ))
                 depth_samples.append((now, len(queue)))
             elif kind == FREE:
-                replicas[payload].inflight -= 1
+                replica_index, attempt_failed = payload
+                freed = replicas[replica_index]
+                freed.inflight -= 1
+                if freed.breaker is not None:
+                    # Breakers observe at batch *resolution* time — when
+                    # the failure would actually surface to the router.
+                    if attempt_failed:
+                        freed.breaker.record_failure(now)
+                    else:
+                        freed.breaker.record_success(now)
+                if freed.draining and freed.inflight == 0:
+                    freed.draining = False
+                    freed.retired_at_ms = now
             elif kind == RETRY:
                 retries_pending -= 1
                 request = payload
@@ -958,19 +1453,79 @@ class ServingRuntime:
                     config.timeout_ms > 0
                     and now - request.arrival_ms >= config.timeout_ms
                 ):
-                    outcomes[request.request_id] = RequestOutcome(
+                    resolve(RequestOutcome(
                         request=request,
                         status=RequestStatus.TIMED_OUT,
                         attempts=attempts.get(request.request_id, 0),
-                    )
+                    ))
                 else:
                     queue.requeue(request)
                 depth_samples.append((now, len(queue)))
+            elif kind == SCALE and autoscaler is not None:
+                active = [
+                    r for r in replicas if not r.retired and not r.draining
+                ]
+                busy = sum(
+                    1 for r in active
+                    if r.inflight > 0 or r.free_at_ms > now
+                )
+                utilization = busy / len(active) if active else 1.0
+                action = autoscaler.decide(
+                    now,
+                    replicas=len(active),
+                    queue_depth=len(queue),
+                    utilization=utilization,
+                    batch_capacity=config.max_batch_requests,
+                )
+                if action == "up":
+                    # The new replica joins with cold kmap/policy warmth
+                    # and is unavailable for warmup_ms (model load, CUDA
+                    # context); its early batches pay cold-cache costs on
+                    # top — warmup is real, not free capacity.
+                    replicas.append(DeviceReplica(
+                        index=len(replicas),
+                        spec=self.device,
+                        kmap_cache=KmapCache(
+                            capacity=config.kmap_cache_size
+                        ),
+                        breaker=make_breaker(),
+                        provisioned_at_ms=now,
+                        free_at_ms=now + config.autoscale.warmup_ms,
+                    ))
+                    replicas_peak = max(replicas_peak, len(active) + 1)
+                elif action == "down":
+                    # Drain the youngest replica (coldest caches on
+                    # average); it retires once in-flight work resolves.
+                    victim = max(
+                        active,
+                        key=lambda r: (r.provisioned_at_ms, r.index),
+                    )
+                    if victim.inflight == 0:
+                        victim.retired_at_ms = now
+                    else:
+                        victim.draining = True
+                if (
+                    arrivals_pending + retries_pending > 0
+                    or len(queue) > 0
+                    or any(r.inflight for r in replicas)
+                ):
+                    push_event(
+                        now + config.autoscale.interval_ms, SCALE, None
+                    )
             try_dispatch(now)
 
         ordered = [outcomes[r.request_id] for r in requests]
         kmap_hits = sum(r.kmap_cache.hits for r in replicas)
         kmap_total = kmap_hits + sum(r.kmap_cache.misses for r in replicas)
+        autoscaled = autoscaler is not None
+        spans = {
+            r.index: max(
+                (r.retired_at_ms if r.retired_at_ms is not None else end_ms)
+                - r.provisioned_at_ms,
+                0.0,
+            )
+            for r in replicas
+        }
         per_replica = [
             {
                 "replica": float(r.index),
@@ -982,9 +1537,17 @@ class ServingRuntime:
                 "ooms": float(r.ooms),
                 "retries_served": float(r.retries_served),
                 "hedges_served": float(r.hedges_served),
+                "breaker_opens": float(
+                    r.breaker.opens if r.breaker is not None else 0
+                ),
+                "breaker_closes": float(
+                    r.breaker.closes if r.breaker is not None else 0
+                ),
+                "provisioned_ms": spans[r.index] if autoscaled else 0.0,
             }
             for r in replicas
         ]
+        breakers = [r.breaker for r in replicas if r.breaker is not None]
         metrics = compute_metrics(
             ordered,
             depth_samples,
@@ -993,7 +1556,7 @@ class ServingRuntime:
             kmap_evictions=sum(r.kmap_cache.evictions for r in replicas),
             batches=batch_counter,
             replica_busy_ms=sum(r.busy_ms for r in replicas),
-            replicas=config.replicas,
+            replicas=sum(1 for r in replicas if not r.retired),
             stage_us_totals=stage_totals,
             replica_stalls=injector.stall_windows,
             batch_failures=injector.batch_failures,
@@ -1014,5 +1577,19 @@ class ServingRuntime:
             ),
             sync_events=sync_events_total,
             per_replica=per_replica,
+            quota_denied=sum(b.denied for b in buckets.values()),
+            retry_budget_exhausted=sum(
+                b.exhausted for b in budgets.values()
+            ),
+            breaker_opens=sum(b.opens for b in breakers),
+            breaker_closes=sum(b.closes for b in breakers),
+            breaker_probes=sum(b.probes for b in breakers),
+            scale_ups=autoscaler.scale_ups if autoscaler is not None else 0,
+            scale_downs=(
+                autoscaler.scale_downs if autoscaler is not None else 0
+            ),
+            replicas_peak=replicas_peak,
+            provisioned_ms=sum(spans.values()) if autoscaled else 0.0,
+            slo_ms=config.slo_ms,
         )
         return ServeResult(config=config, outcomes=ordered, metrics=metrics)
