@@ -5,8 +5,12 @@ writes ``benchmarks/BENCH_sim_throughput.json`` so later PRs can prove
 they did not regress the simulator itself:
 
 * ``estimate_us_per_call`` — cost of pricing an already-built trace
-  (:func:`repro.gpusim.engine.estimate_trace_us`), the inner loop of every
-  tuner verification;
+  (:func:`repro.gpusim.engine.estimate_trace_us` with ``memoize=False``),
+  the inner loop of every tuner verification;
+* ``memoized_trace_us_per_call`` — cost of the same call on the trace-memo
+  hit path (ROADMAP item 5); byte-identity with the un-memoized estimate
+  is asserted before timing, and the ``memoized_speedup_vs_estimate``
+  ratio must stay >= 2x;
 * ``scheduled_estimate_us_per_call`` — cost of the same pricing through
   the 4-stream list scheduler (``streams=4``), plus the deterministic
   ``scheduled_vs_serialized_latency`` ratio of the simulated result;
@@ -73,7 +77,7 @@ def bench_engine():
     from repro.analyze.depgraph import DependenceGraph
     from repro.analyze.hb import check_schedule
     from repro.autotune import LayerShape, SurrogateModel
-    from repro.gpusim.engine import estimate_trace_us
+    from repro.gpusim.engine import clear_trace_memo, estimate_trace_us
     from repro.hw.specs import get_device
     from repro.kernels.registry import Dataflow, trace_dataflow
     from repro.nn.context import LayerConfig
@@ -88,12 +92,25 @@ def bench_engine():
         Dataflow.IMPLICIT_GEMM, kmap, c_in, c_out, precision="fp16"
     )
 
+    # Honest un-memoized baselines: the memo would collapse every timed
+    # call after the first into a dictionary hit.
     estimate_us, estimate_calls = _time_per_call(
-        lambda: estimate_trace_us(trace, device, "fp16")
+        lambda: estimate_trace_us(trace, device, "fp16", memoize=False)
     )
     scheduled_us, scheduled_calls = _time_per_call(
-        lambda: estimate_trace_us(trace, device, "fp16", streams=4)
+        lambda: estimate_trace_us(
+            trace, device, "fp16", streams=4, memoize=False
+        )
     )
+    # Memoized repeated-call cost (the tuner/serving steady state): one
+    # cold miss populates the entry, then every timed call is a hit.
+    clear_trace_memo()
+    cold = estimate_trace_us(trace, device, "fp16")
+    assert cold == estimate_trace_us(trace, device, "fp16", memoize=False)
+    memoized_us, memoized_calls = _time_per_call(
+        lambda: estimate_trace_us(trace, device, "fp16")
+    )
+    assert estimate_trace_us(trace, device, "fp16") == cold
     launches = list(trace)
     graph = DependenceGraph.build(launches)
     schedule = best_schedule(launches, device, "fp16", 4, graph)
@@ -113,11 +130,16 @@ def bench_engine():
     )
     # Deterministic simulated ratio: the 4-stream schedule of this layer
     # trace vs its serialized estimate (machine-independent).
-    serialized_sim = estimate_trace_us(trace, device, "fp16")
-    scheduled_sim = estimate_trace_us(trace, device, "fp16", streams=4)
+    serialized_sim = estimate_trace_us(trace, device, "fp16", memoize=False)
+    scheduled_sim = estimate_trace_us(
+        trace, device, "fp16", streams=4, memoize=False
+    )
     return {
         "estimate_us_per_call": round(estimate_us, 3),
         "estimate_calls": estimate_calls,
+        "memoized_trace_us_per_call": round(memoized_us, 3),
+        "memoized_calls": memoized_calls,
+        "memoized_speedup_vs_estimate": round(estimate_us / memoized_us, 1),
         "scheduled_estimate_us_per_call": round(scheduled_us, 3),
         "scheduled_calls": scheduled_calls,
         "scheduled_vs_serialized_latency": round(

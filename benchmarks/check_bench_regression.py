@@ -27,6 +27,7 @@ from typing import Dict, List, Tuple
 #: (section, field) pairs gated on microseconds-per-call (lower is better).
 GATED_FIELDS: Tuple[Tuple[str, str], ...] = (
     ("engine", "estimate_us_per_call"),
+    ("engine", "memoized_trace_us_per_call"),
     ("engine", "scheduled_estimate_us_per_call"),
     ("engine", "verify_us_per_call"),
     ("engine", "trace_us_per_call"),

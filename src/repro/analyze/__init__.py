@@ -48,6 +48,21 @@ from repro.analyze.propagate import (
     register_handler,
     trace_model,
 )
+from repro.analyze.provenance import (
+    Exemption,
+    FuzzReport,
+    KeyComponent,
+    KeySchema,
+    ReadLog,
+    SiteAudit,
+    audit_cache_site,
+    audit_cache_sites,
+    fuzz_all,
+    fuzz_cache_site,
+    provenance_findings,
+    register_cache_site,
+    wrap,
+)
 from repro.analyze.ranges import (
     LayerRange,
     RangeReport,
@@ -197,7 +212,11 @@ __all__ = [
     "ChannelMismatch",
     "DepEdge",
     "DependenceGraph",
+    "Exemption",
     "Finding",
+    "FuzzReport",
+    "KeyComponent",
+    "KeySchema",
     "HANDLERS",
     "HappensBefore",
     "SyncEvent",
@@ -209,13 +228,17 @@ __all__ = [
     "ModelIR",
     "RULES",
     "RangeReport",
+    "ReadLog",
     "Severity",
+    "SiteAudit",
     "SymbolicTensor",
     "SymbolicTracer",
     "TraceViolation",
     "ValueRange",
     "analyze_model",
     "assert_trace_ok",
+    "audit_cache_site",
+    "audit_cache_sites",
     "check_conv_trace",
     "check_dependences",
     "check_depgraph",
@@ -226,6 +249,8 @@ __all__ = [
     "collect_execution_trace",
     "depgraph_report_json",
     "find_redundant_events",
+    "fuzz_all",
+    "fuzz_cache_site",
     "lint_model",
     "lint_rule",
     "lint_workload",
@@ -233,10 +258,13 @@ __all__ = [
     "model_range_report",
     "precision_drop_veto",
     "propagate_ranges",
+    "provenance_findings",
     "redundant_sync_edges",
+    "register_cache_site",
     "register_handler",
     "run_rules",
     "scatter_conflicts",
     "static_weight_bytes",
     "trace_model",
+    "wrap",
 ]

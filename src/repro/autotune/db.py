@@ -43,10 +43,36 @@ SCHEMA_VERSION = 1
 
 
 def _log2_bucket(value: float) -> int:
-    """Floor-of-log2 bucket index (0 for empty/degenerate inputs)."""
+    """Floor-of-log2 bucket index.
+
+    ``value <= 0`` — a zero-point scene, or the zero neighbour density it
+    implies — gets its own explicit bucket ``-1``, so degenerate scenes
+    can never share a tuning entry with small-but-real ones.  Values in
+    ``(0, 2)`` share bucket 0.
+    """
+    if value <= 0.0:
+        return -1
     if value < 1.0:
         return 0
     return int(math.floor(math.log2(value)))
+
+
+def _checked_stat(name: str, value: "int | float") -> float:
+    """Validate one sparsity statistic; ConfigError names the bad field."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigError(
+            f"sparsity statistic {name!r} must be a number, got {value!r}"
+        )
+    out = float(value)
+    if math.isnan(out) or math.isinf(out):
+        raise ConfigError(
+            f"sparsity statistic {name!r} must be finite, got {out!r}"
+        )
+    if out < 0.0:
+        raise ConfigError(
+            f"sparsity statistic {name!r} must be >= 0, got {out!r}"
+        )
+    return out
 
 
 def sparsity_bucket(
@@ -57,12 +83,14 @@ def sparsity_bucket(
     Points are bucketed by floor-log2 (a 100k-voxel scene and a 130k-voxel
     scene share configs; a 10k one does not) and neighbour density — the
     quantity that separates dense indoor from sparse outdoor LiDAR — by
-    floor-log2 as well.
+    floor-log2 as well.  Zero-point scenes land in the explicit ``-1``
+    bucket (:func:`_log2_bucket`); NaN, infinite or negative statistics
+    are configuration errors naming the offending field.
     """
     return (
-        f"n{_log2_bucket(float(num_inputs))}"
-        f":m{_log2_bucket(float(num_outputs))}"
-        f":d{_log2_bucket(mean_neighbors)}"
+        f"n{_log2_bucket(_checked_stat('num_inputs', num_inputs))}"
+        f":m{_log2_bucket(_checked_stat('num_outputs', num_outputs))}"
+        f":d{_log2_bucket(_checked_stat('mean_neighbors', mean_neighbors))}"
     )
 
 

@@ -26,13 +26,18 @@ Commands:
 * ``lint`` — statically analyze a model (bundled workload or
   ``module:factory`` import spec) for stride/channel/map/precision
   hazards without running it;
+* ``keycheck`` — audit cache-key soundness: probe every registered
+  memoization site (:mod:`repro.analyze.provenance`) with recording
+  proxies, diff observed reads against the declared key schema, and
+  optionally run the seeded differential fuzzers (``--fuzz``);
 * ``experiments`` — alias of ``python -m repro.experiments``.
 
 Exit codes: 0 on success (for ``lint``: no finding at or above
-``--fail-on``); 1 when ``lint`` reports findings at or above the
-``--fail-on`` severity; 2 on usage errors — unknown device / engine /
-workload / precision / rule names exit with a message listing the valid
-choices (no traceback).
+``--fail-on``; for ``keycheck``: every audited cache site sound); 1 when
+``lint`` reports findings at or above the ``--fail-on`` severity or
+``keycheck`` finds an unkeyed read / fuzz failure; 2 on usage errors —
+unknown device / engine / workload / precision / rule names exit with a
+message listing the valid choices (no traceback).
 """
 
 from __future__ import annotations
@@ -203,6 +208,95 @@ def _cmd_lint(args) -> int:
             + f" [fail-on {fail_on.value}]"
         )
     return 1 if failing else 0
+
+
+def _cmd_keycheck(args) -> int:
+    from repro.analyze.provenance import (
+        REGISTRY,
+        audit_cache_sites,
+        fuzz_cache_site,
+    )
+    from repro.errors import ConfigError
+
+    if args.register:
+        import importlib
+
+        module_name, _, func_name = args.register.partition(":")
+        if not module_name or not func_name:
+            raise ConfigError(
+                f"--register expects module:function, got {args.register!r}"
+            )
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError as exc:
+            raise ConfigError(
+                f"cannot import module {module_name!r}: {exc}"
+            ) from None
+        register = getattr(module, func_name, None)
+        if register is None:
+            raise ConfigError(
+                f"module {module_name!r} has no attribute {func_name!r}"
+            )
+        register()
+    if args.site:
+        unknown = [s for s in args.site if s not in REGISTRY]
+        if unknown:
+            raise ConfigError(
+                f"unknown cache site(s) {unknown}; registered: "
+                f"{sorted(REGISTRY)}"
+            )
+        sites = tuple(sorted(args.site))
+    else:
+        sites = tuple(sorted(REGISTRY))
+    audits = audit_cache_sites(sites)
+    fuzz = {}
+    if args.fuzz:
+        fuzz = {
+            site: fuzz_cache_site(site, seed=args.seed + i)
+            for i, site in enumerate(sites)
+        }
+    unsound = sorted(s for s, a in audits.items() if a.unkeyed)
+    fuzz_failed = sorted(s for s, r in fuzz.items() if r.failures)
+    failed = bool(unsound or fuzz_failed)
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "sites": {s: audits[s].to_dict() for s in sites},
+                    "fuzz": {s: r.to_dict() for s, r in fuzz.items()},
+                    "unsound": unsound,
+                    "fuzz_failed": fuzz_failed,
+                    "failed": failed,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for site in sites:
+            audit = audits[site]
+            status = "UNSOUND" if audit.unkeyed else "sound"
+            print(
+                f"{site}: {status} ({len(audit.reads)} reads, "
+                f"{len(audit.exempted)} exempted)"
+            )
+            for path in audit.unkeyed:
+                print(f"   error  unkeyed-read     {path}")
+            for name in audit.overkeyed:
+                print(f"   info   overkeyed-field  {name}")
+            report = fuzz.get(site)
+            if report is not None:
+                verdict = "ok" if report.ok else "FAILED"
+                print(f"   fuzz: {report.trials} trial(s) {verdict}")
+                for failure in report.failures:
+                    print(f"      {failure}")
+        print(
+            f"{len(sites)} site(s) audited: "
+            + ("FAILED" if failed else "all keys sound")
+        )
+    return 1 if failed else 0
 
 
 def _cmd_measure(args) -> int:
@@ -991,6 +1085,43 @@ def build_parser() -> argparse.ArgumentParser:
              "dependence/liveness rules (static rules only)",
     )
     lint.set_defaults(func=_cmd_lint)
+
+    keycheck = sub.add_parser(
+        "keycheck",
+        help="audit cache-key soundness of the registered memoizations",
+        description=(
+            "Probe every registered cache site with recording proxies, "
+            "diff the observed read set against the site's declared key "
+            "schema, and report unkeyed reads (stale-hit hazards) and "
+            "overkeyed components (needless misses).  Exit codes: 0 = "
+            "every audited site is sound (and fuzzing passed), 1 = any "
+            "unkeyed read or fuzz failure, 2 = usage error."
+        ),
+    )
+    keycheck.add_argument(
+        "--site",
+        action="append",
+        help="audit only this site (repeatable; default: all registered)",
+    )
+    keycheck.add_argument(
+        "--fuzz", action="store_true",
+        help="also run each site's seeded differential fuzzer",
+    )
+    keycheck.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed for --fuzz (per-site seeds derive from it)",
+    )
+    keycheck.add_argument(
+        "--json", action="store_true",
+        help="print the audit as a JSON document (sorted keys, "
+             "deterministic across runs)",
+    )
+    keycheck.add_argument(
+        "--register",
+        help="module:function called before auditing to register extra "
+             "cache sites (e.g. a fixture planting an unsound schema)",
+    )
+    keycheck.set_defaults(func=_cmd_keycheck)
 
     measure = sub.add_parser("measure", help="measure one engine/workload")
     measure.add_argument("workload", help="e.g. SK-M-0.5")

@@ -81,6 +81,27 @@ class DeviceSpec:
                 f"device {self.name!r} has negative sync_event_us"
             )
 
+    def __hash__(self) -> int:
+        # Device specs are immutable and sit in every memoization key the
+        # framework builds (tuning DB, policy cache, gpusim trace memo), so
+        # hashing one is a hot operation.  Cache the field-tuple hash on
+        # first use; ``dataclasses.replace`` builds a fresh instance, so the
+        # cache can never go stale.
+        try:
+            cached: int = object.__getattribute__(self, "_cached_hash")
+            return cached
+        except AttributeError:
+            pass
+        value = hash((
+            self.name, self.arch, self.sms, self.concurrent_ctas_per_sm,
+            self.cuda_core_tflops, self.fp16_tensor_tflops,
+            self.tf32_tensor_tflops, self.dram_bw_gbps,
+            self.kernel_launch_us, self.int_giops, self.dram_gib,
+            self.atomic_serialization, self.sync_event_us,
+        ))
+        object.__setattr__(self, "_cached_hash", value)
+        return value
+
     # ------------------------------------------------------------------ #
     # Throughput queries
     # ------------------------------------------------------------------ #

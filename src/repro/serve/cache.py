@@ -37,6 +37,23 @@ from repro.sparse.tensor import SparseTensor
 #: Policy identity: (model key, device name, precision value).
 PolicyKey = Tuple[str, str, str]
 
+#: Scene identity: (workload id, scene seed).  See :func:`scene_key`.
+SceneKey = Tuple[str, int]
+
+
+def scene_key(workload_id: str, scene_seed: int) -> SceneKey:
+    """Canonical scene identity used by *every* scene-keyed cache.
+
+    A scene is fully determined by its workload (dataset, frame geometry,
+    scale all hang off the workload id) and the seed that generated it —
+    :meth:`repro.serve.request.InferenceRequest.scene_key`, the
+    :class:`KmapCache` keys fed to :meth:`KmapCache.batch_fingerprint`,
+    and the runtime's per-sample cost memo all derive their keys here, so
+    the derivations cannot drift apart.  ``analyze.provenance`` audits the
+    sample memo against exactly this derivation.
+    """
+    return (str(workload_id), int(scene_seed))
+
 
 class PolicyCache:
     """Tuned :class:`GroupPolicy` objects keyed by (model, device, precision)."""

@@ -16,6 +16,8 @@ import dataclasses
 import enum
 from typing import Optional, Tuple
 
+from repro.serve.cache import scene_key
+
 
 class RequestStatus(enum.Enum):
     """Terminal state of a request."""
@@ -66,8 +68,13 @@ class InferenceRequest:
 
     @property
     def scene_key(self) -> tuple:
-        """Cache identity of the request's scene geometry."""
-        return (self.workload_id, self.scene_seed)
+        """Cache identity of the request's scene geometry.
+
+        Delegates to :func:`repro.serve.cache.scene_key` — the one
+        canonical derivation shared with the kmap cache and the runtime's
+        per-sample cost memo.
+        """
+        return scene_key(self.workload_id, self.scene_seed)
 
 
 @dataclasses.dataclass

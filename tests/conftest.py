@@ -27,6 +27,7 @@ from repro.analyze.hb import check_schedule
 from repro.analyze.tracecheck import check_trace
 from repro.gpusim import engine as _engine
 from repro.opt.schedule import best_schedule
+from repro.precision import Precision
 
 #: Modules that import ``estimate_trace_us`` by name; each bound copy gets
 #: wrapped so no trace escapes the sanitizer.
@@ -45,11 +46,16 @@ _PATCH_MODULES = (
 _real_estimate_trace_us = _engine.estimate_trace_us
 
 
-def _checked_estimate_trace_us(trace, device, precision, streams=1):
+def _checked_estimate_trace_us(trace, device, precision, streams=1, **kwargs):
+    # ``estimate_trace_us`` accepts ``Precision | str`` and parses
+    # internally; the analyzers take a parsed ``Precision``, so parse here
+    # too — a raw string would silently mis-price tensor-core launches in
+    # the cross-validation weights (``gemm_tflops`` compares by identity).
+    parsed = Precision.parse(precision)
     violations = check_trace(trace)
-    violations += check_depgraph(trace, device, precision)
+    violations += check_depgraph(trace, device, parsed)
     if streams > 1 and len(list(trace)):
-        schedule = best_schedule(trace, device, precision, streams)
+        schedule = best_schedule(trace, device, parsed, streams)
         violations += check_schedule(trace, schedule)
     if violations:
         details = "\n".join(f"  - {v}" for v in violations)
@@ -57,7 +63,7 @@ def _checked_estimate_trace_us(trace, device, precision, streams=1):
             f"trace sanitizer found {len(violations)} violation(s) in a "
             f"trace submitted for latency estimation:\n{details}"
         )
-    return _real_estimate_trace_us(trace, device, precision, streams)
+    return _real_estimate_trace_us(trace, device, precision, streams, **kwargs)
 
 
 @pytest.fixture(autouse=True)
@@ -68,4 +74,32 @@ def sanitize_all_traces(monkeypatch):
             monkeypatch.setattr(
                 module, "estimate_trace_us", _checked_estimate_trace_us
             )
+    yield
+
+
+@pytest.fixture(scope="session", autouse=True)
+def cache_key_soundness():
+    """Audit + fuzz every registered cache site once per test session.
+
+    Runs before any function-scoped monkeypatching exists (session scope),
+    so the probes observe the real engine entry points; the audits are
+    memoized inside :mod:`repro.analyze.provenance`, making later lint
+    invocations (e.g. serving admission) reuse these results.
+    """
+    from repro.analyze.provenance import audit_cache_sites, fuzz_all
+
+    audits = audit_cache_sites()
+    unsound = {
+        site: list(audit.unkeyed)
+        for site, audit in audits.items()
+        if audit.unkeyed
+    }
+    assert not unsound, f"unkeyed cache-site reads: {unsound}"
+    reports = fuzz_all(seed=0)
+    failed = {
+        site: list(report.failures)
+        for site, report in reports.items()
+        if report.failures
+    }
+    assert not failed, f"cache differential fuzzing failed: {failed}"
     yield

@@ -53,7 +53,31 @@ class TestKeys:
         )
 
     def test_bucket_handles_degenerate_inputs(self):
-        assert sparsity_bucket(0, 0, 0.0) == "n0:m0:d0"
+        # Zero-point scenes get the explicit -1 bucket, distinct from any
+        # real (however small) scene.
+        assert sparsity_bucket(0, 0, 0.0) == "n-1:m-1:d-1"
+        assert sparsity_bucket(0, 0, 0.0) != sparsity_bucket(1, 1, 1.0)
+        # Sub-unit densities share bucket 0 with density 1.
+        assert sparsity_bucket(1, 1, 0.5) == sparsity_bucket(1, 1, 1.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1.0])
+    def test_bucket_rejects_non_finite_density(self, bad):
+        with pytest.raises(ConfigError, match="mean_neighbors"):
+            sparsity_bucket(100, 100, bad)
+
+    def test_bucket_rejects_bad_counts_naming_the_field(self):
+        with pytest.raises(ConfigError, match="num_inputs"):
+            sparsity_bucket(-5, 100, 20.0)
+        with pytest.raises(ConfigError, match="num_outputs"):
+            sparsity_bucket(100, float("nan"), 20.0)
+        with pytest.raises(ConfigError, match="num_inputs"):
+            sparsity_bucket(True, 100, 20.0)
+
+    def test_make_propagates_stat_validation(self):
+        with pytest.raises(ConfigError, match="mean_neighbors"):
+            make_key(d=float("nan"))
+        with pytest.raises(ConfigError, match="num_inputs"):
+            make_key(n=-3)
 
     def test_layer_key_includes_channels_and_precision(self):
         base = layer_key(SIG, 16, 32, "fp16")

@@ -1,0 +1,119 @@
+"""KmapCache LRU eviction semantics and accounting purity (satellite)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.cache import KmapCache, KmapEntry, scene_key
+
+
+def _entry(tag="x"):
+    return KmapEntry(sample=object(), charge_keys=frozenset({(tag,)}))
+
+
+def _keys(*seeds):
+    return [scene_key("SK-M-0.5", s) for s in seeds]
+
+
+class TestLRUOrder:
+    def test_evicts_least_recently_used_first(self):
+        cache = KmapCache(capacity=2)
+        a, b, c = _keys(1, 2, 3)
+        cache.put(a, _entry("a"))
+        cache.put(b, _entry("b"))
+        cache.put(c, _entry("c"))
+        assert a not in cache
+        assert b in cache and c in cache
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = KmapCache(capacity=2)
+        a, b, c = _keys(1, 2, 3)
+        cache.put(a, _entry("a"))
+        cache.put(b, _entry("b"))
+        assert cache.get(a) is not None  # a becomes most-recent
+        cache.put(c, _entry("c"))
+        assert b not in cache
+        assert a in cache
+
+    def test_put_refreshes_recency_on_overwrite(self):
+        cache = KmapCache(capacity=2)
+        a, b, c = _keys(1, 2, 3)
+        cache.put(a, _entry("a"))
+        cache.put(b, _entry("b"))
+        cache.put(a, _entry("a2"))  # overwrite refreshes a
+        cache.put(c, _entry("c"))
+        assert b not in cache
+        assert a in cache and cache.evictions == 1
+
+    def test_warm_keys_lru_first_under_churn(self):
+        cache = KmapCache(capacity=3)
+        a, b, c = _keys(1, 2, 3)
+        for key, tag in ((a, "a"), (b, "b"), (c, "c")):
+            cache.put(key, _entry(tag))
+        cache.get(a)
+        assert cache.warm_keys() == (b, c, a)
+
+    def test_eviction_counter_accumulates(self):
+        cache = KmapCache(capacity=1)
+        keys = _keys(*range(5))
+        for key in keys:
+            cache.put(key, _entry())
+        assert cache.evictions == 4
+        assert len(cache) == 1
+        assert keys[-1] in cache
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            KmapCache(capacity=0)
+
+
+class TestAccountingPurity:
+    def test_peek_never_perturbs_accounting_or_order(self):
+        cache = KmapCache(capacity=2)
+        a, b, c = _keys(1, 2, 3)
+        cache.put(a, _entry("a"))
+        cache.put(b, _entry("b"))
+        hits, misses = cache.hits, cache.misses
+        entry = cache.peek(a)
+        assert entry is not None and entry.uses == 0
+        assert cache.peek(_keys(9)[0]) is None
+        assert (cache.hits, cache.misses) == (hits, misses)
+        # a's recency was NOT refreshed by peek: it evicts first.
+        cache.put(c, _entry("c"))
+        assert a not in cache
+
+    def test_contains_never_perturbs_accounting_or_order(self):
+        cache = KmapCache(capacity=2)
+        a, b, c = _keys(1, 2, 3)
+        cache.put(a, _entry("a"))
+        cache.put(b, _entry("b"))
+        hits, misses = cache.hits, cache.misses
+        assert a in cache
+        assert _keys(9)[0] not in cache
+        assert (cache.hits, cache.misses) == (hits, misses)
+        cache.put(c, _entry("c"))
+        assert a not in cache
+
+    def test_batch_fingerprint_is_read_only(self):
+        cache = KmapCache(capacity=2)
+        a, b = _keys(1, 2)
+        cache.put(a, _entry("a"))
+        hits, misses, evictions = cache.hits, cache.misses, cache.evictions
+        order = cache.warm_keys()
+        cache.batch_fingerprint((a, b, a))
+        cache.batch_fingerprint((a, b, a), ordered=True)
+        assert (cache.hits, cache.misses, cache.evictions) == (
+            hits, misses, evictions,
+        )
+        assert cache.warm_keys() == order
+
+    def test_get_counts_hits_and_uses(self):
+        cache = KmapCache(capacity=2)
+        (a,) = _keys(1)
+        cache.put(a, _entry("a"))
+        assert cache.get(a).uses == 1
+        assert cache.get(_keys(9)[0]) is None
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5

@@ -1,0 +1,211 @@
+"""Verified trace memoization in the gpusim engine (ROADMAP item 5)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.gpusim import engine
+from repro.gpusim.engine import (
+    PRICING_FIELDS,
+    SCHEDULE_FIELDS,
+    TraceMemo,
+    clear_trace_memo,
+    launch_signature,
+    trace_memo_stats,
+    trace_signature,
+)
+from repro.hw.specs import get_device
+from repro.kernels.registry import Dataflow, trace_dataflow
+from repro.sparse.kmap import build_kernel_map
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    clear_trace_memo()
+    yield
+    clear_trace_memo()
+
+
+def _kmap(n=150, seed=0):
+    rng = np.random.default_rng(seed)
+    coords = np.unique(
+        np.concatenate(
+            [
+                np.zeros((n, 1), np.int32),
+                rng.integers(0, 12, (n, 3)).astype(np.int32),
+            ],
+            axis=1,
+        ),
+        axis=0,
+    )
+    return build_kernel_map(coords, kernel_size=3, stride=1)
+
+
+def _trace(dataflow=Dataflow.IMPLICIT_GEMM, precision="fp16"):
+    return trace_dataflow(dataflow, _kmap(), 16, 16, precision=precision)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize(
+        "dataflow",
+        [
+            Dataflow.IMPLICIT_GEMM,
+            Dataflow.GATHER_SCATTER,
+            Dataflow.FETCH_ON_DEMAND,
+        ],
+    )
+    @pytest.mark.parametrize("precision", ["fp16", "fp32"])
+    @pytest.mark.parametrize("streams", [1, 2, 4])
+    def test_memoized_equals_unmemoized_grid(
+        self, dataflow, precision, streams
+    ):
+        """Across the dataflow x precision x stream grid, miss path and
+        hit path are bit-identical to the unmemoized estimate."""
+        device = get_device("a100")
+        trace = trace_dataflow(
+            dataflow, _kmap(), 16, 16, precision=precision
+        )
+        honest = engine.estimate_trace_us(
+            trace, device, precision, streams, memoize=False
+        )
+        miss = engine.estimate_trace_us(trace, device, precision, streams)
+        hit = engine.estimate_trace_us(trace, device, precision, streams)
+        assert miss == honest
+        assert hit == honest
+
+    def test_devices_never_alias(self):
+        trace = _trace()
+        a100 = engine.estimate_trace_us(trace, get_device("a100"), "fp16")
+        orin = engine.estimate_trace_us(
+            trace, get_device("jetson agx orin"), "fp16"
+        )
+        assert a100 != orin
+        assert a100 == engine.estimate_trace_us(
+            trace, get_device("a100"), "fp16", memoize=False
+        )
+
+    def test_precision_alias_strings_stay_consistent(self):
+        from repro.precision import Precision
+
+        trace = _trace()
+        device = get_device("a100")
+        by_str = engine.estimate_trace_us(trace, device, "fp16")
+        by_enum = engine.estimate_trace_us(trace, device, Precision.FP16)
+        assert by_str == by_enum
+
+    def test_mutating_a_launch_rekeys(self):
+        device = get_device("a100")
+        trace = _trace()
+        engine.estimate_trace_us(trace, device, "fp16")
+        key_before = trace_signature(trace, device, "fp16")
+        trace.launches[0].flops += 1.0e6
+        assert trace_signature(trace, device, "fp16") != key_before
+        after = engine.estimate_trace_us(trace, device, "fp16")
+        assert after == engine.estimate_trace_us(
+            trace, device, "fp16", memoize=False
+        )
+
+
+class TestSignatures:
+    def test_pricing_signature_ignores_schedule_fields(self):
+        trace = list(_trace())
+        device = get_device("a100")
+        key = trace_signature(trace, device, "fp16")
+        renamed = [dataclasses.replace(launch) for launch in trace]
+        renamed[0].name = "renamed"
+        renamed[0].fuse_group = "zz"
+        assert trace_signature(renamed, device, "fp16") == key
+
+    def test_multistream_signature_keys_schedule_fields(self):
+        trace = list(_trace())
+        device = get_device("a100")
+        key = trace_signature(trace, device, "fp16", streams=2)
+        renamed = [dataclasses.replace(launch) for launch in trace]
+        renamed[0].name = "renamed"
+        assert trace_signature(renamed, device, "fp16", streams=2) != key
+
+    def test_launch_signature_field_order(self):
+        launch = list(_trace())[0]
+        sig = launch_signature(launch)
+        assert len(sig) == len(PRICING_FIELDS)
+        scheduled = launch_signature(launch, scheduled=True)
+        assert len(scheduled) == len(PRICING_FIELDS) + len(SCHEDULE_FIELDS)
+
+    def test_streams_must_be_positive(self):
+        with pytest.raises(ValueError):
+            engine.estimate_trace_us(_trace(), get_device("a100"), "fp16", 0)
+
+
+class TestMemoAccounting:
+    # Counter assertions are delta-based: the suite-wide trace sanitizer
+    # (tests/conftest.py) cross-validates every estimate with its own
+    # internal estimate_trace_us call, which adds memo traffic of its own.
+
+    def test_hit_miss_counters(self):
+        device = get_device("a100")
+        trace = _trace()
+        engine.estimate_trace_us(trace, device, "fp16")
+        first = trace_memo_stats()
+        assert first["misses"] >= 1
+        assert first["size"] >= 1
+        engine.estimate_trace_us(trace, device, "fp16")
+        second = trace_memo_stats()
+        assert second["hits"] > first["hits"]  # repeat is served from memo
+        assert second["misses"] == first["misses"]  # no new entries priced
+        assert second["size"] == first["size"]
+
+    def test_memoize_false_bypasses_stats(self):
+        device = get_device("a100")
+        trace = _trace()
+        engine.estimate_trace_us(trace, device, "fp16", memoize=False)
+        before = trace_memo_stats()
+        # If the memoize=False call had stored an entry, this memoized call
+        # would hit; instead it must miss and insert the first entry for
+        # this key.
+        engine.estimate_trace_us(trace, device, "fp16")
+        after = trace_memo_stats()
+        assert after["misses"] == before["misses"] + 1
+        assert after["size"] == before["size"] + 1
+
+    def test_clear_resets_entries_and_counters(self):
+        device = get_device("a100")
+        trace = _trace()
+        engine.estimate_trace_us(trace, device, "fp16")
+        clear_trace_memo()
+        stats = trace_memo_stats()
+        assert stats == {
+            "size": 0,
+            "capacity": stats["capacity"],
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+        }
+
+
+class TestTraceMemoClass:
+    def test_fifo_eviction_at_capacity(self):
+        memo = TraceMemo(capacity=2)
+        memo.put("a", 1.0)
+        memo.put("b", 2.0)
+        memo.put("c", 3.0)
+        assert memo.get("a") is None  # oldest evicted
+        assert memo.get("b") == 2.0
+        assert memo.get("c") == 3.0
+        assert memo.stats()["evictions"] == 1
+        assert memo.stats()["size"] == 2
+
+    def test_overwrite_does_not_evict(self):
+        memo = TraceMemo(capacity=2)
+        memo.put("a", 1.0)
+        memo.put("b", 2.0)
+        memo.put("a", 9.0)
+        assert memo.stats()["evictions"] == 0
+        assert memo.get("a") == 9.0
+        assert memo.get("b") == 2.0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceMemo(capacity=0)
